@@ -1,0 +1,1 @@
+"""Benchmark package: one benchmark per paper table/figure plus ablations."""

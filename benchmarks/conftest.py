@@ -1,0 +1,24 @@
+"""Benchmark configuration.
+
+Each benchmark regenerates one paper table/figure.  Experiment runs are
+seconds-long simulations, so every benchmark uses a single round — the
+interesting output is the reproduced numbers (stored in
+``benchmark.extra_info``), not the timing distribution.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.common import ScenarioConfig
+
+
+@pytest.fixture(scope="session")
+def scenario() -> ScenarioConfig:
+    """The shared scenario every figure benchmark runs against."""
+    return ScenarioConfig(seed=7)
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run a figure generator exactly once under the benchmark timer."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

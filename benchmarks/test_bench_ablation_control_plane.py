@@ -1,0 +1,74 @@
+"""Ablation: pull-style control plane vs paged downlink assignments.
+
+The paper's clients contact the server during radio tails (pull), so
+assignment delivery is free.  The naive alternative — the server pages
+each selected device — wakes idle radios and pays a promotion + tail
+per assignment.  This ablation quantifies the difference, i.e. why the
+paper's control-plane design is load-bearing.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.cellular.enodeb import TowerRegistry, grid_towers
+from repro.cellular.network import CellularNetwork
+from repro.clientlib import SenseAidClient
+from repro.core.config import ControlPlane, SenseAidConfig, ServerMode
+from repro.core.server import SenseAidServer
+from repro.devices.sensors import SensorType
+from repro.devices.traffic import TrafficPattern
+from repro.environment.campus import CS_DEPARTMENT, default_campus
+from repro.environment.population import PopulationConfig, build_population
+from repro.serverlib import CrowdsensingAppServer
+from repro.sim.engine import Simulator
+
+
+def run_arm(control_plane: ControlPlane, seed: int = 7) -> float:
+    sim = Simulator(seed=seed)
+    campus = default_campus()
+    registry = TowerRegistry(grid_towers(campus.width_m, campus.height_m))
+    network = CellularNetwork(sim)
+    devices = build_population(
+        sim,
+        campus,
+        PopulationConfig(size=20, traffic=TrafficPattern(mean_gap_s=420.0)),
+    )
+    server = SenseAidServer(
+        sim,
+        registry,
+        network,
+        SenseAidConfig(mode=ServerMode.COMPLETE, control_plane=control_plane),
+    )
+    for device in devices:
+        SenseAidClient(sim, device, server, network).register()
+    cas = CrowdsensingAppServer(server, "cas")
+    cas.task(
+        SensorType.BAROMETER,
+        campus.site(CS_DEPARTMENT).position,
+        area_radius_m=1000.0,
+        spatial_density=2,
+        sampling_period_s=600.0,
+        sampling_duration_s=5400.0,
+    )
+    sim.run(until=5460.0)
+    server.shutdown()
+    return sum(d.crowdsensing_energy_j() for d in devices)
+
+
+def run_pair():
+    pull = run_arm(ControlPlane.PULL)
+    paged = run_arm(ControlPlane.PUSH_PAGED)
+    return pull, paged
+
+
+def test_ablation_control_plane(benchmark):
+    pull_j, paged_j = run_once(benchmark, run_pair)
+    # Paging idle radios for assignments costs real energy; the pull
+    # design must win clearly.
+    assert pull_j < paged_j
+    assert paged_j > 1.5 * pull_j
+    benchmark.extra_info["pull_j"] = round(pull_j, 1)
+    benchmark.extra_info["paged_j"] = round(paged_j, 1)
+    benchmark.extra_info["paging_overhead_pct"] = round(
+        (paged_j / pull_j - 1.0) * 100.0, 1
+    )

@@ -1,0 +1,59 @@
+"""Ablation: the selector's scoring weights (α, β, γ, φ).
+
+DESIGN.md calls out the fairness-vs-energy trade-off baked into the
+default weights.  This ablation runs the same scenario with (a) the
+default fairness-dominant weights, (b) a TTL-only selector (always pick
+whoever communicated most recently — greedy energy), and (c) a
+battery-only selector, and compares energy and fairness.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.analysis.fairness import jain_index
+from repro.core.config import SelectorWeights, ServerMode
+from repro.experiments.common import ScenarioConfig, TaskParams, run_sense_aid_arm
+
+TASKS = [
+    TaskParams(
+        area_radius_m=1000.0,
+        spatial_density=2,
+        sampling_period_s=600.0,
+        sampling_duration_s=5400.0,
+    )
+]
+
+WEIGHT_VARIANTS = {
+    "default": SelectorWeights(),
+    "ttl_only": SelectorWeights(alpha=0.0, beta=0.0, gamma=0.0, phi=1.0),
+    "battery_only": SelectorWeights(alpha=0.0, beta=0.0, gamma=1.0, phi=0.0),
+}
+
+
+def run_variants(scenario: ScenarioConfig):
+    results = {}
+    for name, weights in WEIGHT_VARIANTS.items():
+        arm = run_sense_aid_arm(
+            scenario, TASKS, ServerMode.COMPLETE, weights=weights
+        )
+        counts = arm.extras["server"].selections_per_device()
+        results[name] = {
+            "energy_j": arm.energy.total_j,
+            "jain": jain_index(counts.values()),
+            "max_selections": max(counts.values()) if counts else 0,
+            "devices_used": len(counts),
+        }
+    return results
+
+
+def test_ablation_selector_weights(benchmark, scenario):
+    results = run_once(benchmark, run_variants, scenario)
+    # The fairness-dominant default spreads selections widely...
+    assert results["default"]["jain"] > results["ttl_only"]["jain"]
+    assert results["default"]["devices_used"] >= results["ttl_only"]["devices_used"]
+    # ...while the greedy TTL selector hammers few devices.
+    assert results["ttl_only"]["max_selections"] > results["default"]["max_selections"]
+    benchmark.extra_info["variants"] = {
+        name: {k: round(v, 3) for k, v in stats.items()}
+        for name, stats in results.items()
+    }

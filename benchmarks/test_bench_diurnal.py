@@ -1,0 +1,19 @@
+"""Benchmark: the diurnal extension (savings across a 24 h usage cycle)."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.experiments import diurnal
+
+
+def test_bench_diurnal_cycle(benchmark):
+    rows = run_once(benchmark, diurnal.run, 7)
+    assert len(rows) == 6
+    for row in rows:
+        assert row.sense_aid_j < row.periodic_j
+    night = rows[0].saving_pct
+    best_waking = max(r.saving_pct for r in rows[2:])
+    assert best_waking > night
+    benchmark.extra_info["saving_pct_by_window"] = {
+        r.window_label: round(r.saving_pct, 1) for r in rows
+    }

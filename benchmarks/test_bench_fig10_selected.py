@@ -1,0 +1,26 @@
+"""Benchmark: regenerate Figure 10 (selected devices vs sampling period)."""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.experiments import exp2_period
+
+
+def test_fig10_selected_devices(benchmark, scenario):
+    result = run_once(benchmark, exp2_period.run, scenario)
+    for point in result.points:
+        counts = point.selected_counts()
+        # Paper: Sense-Aid selects exactly the spatial density (3),
+        # irrespective of the sampling period; the baselines use every
+        # qualified device.
+        assert counts["sense-aid"] == pytest.approx(exp2_period.SPATIAL_DENSITY)
+        assert counts["periodic"] > exp2_period.SPATIAL_DENSITY
+        assert counts["pcs"] > exp2_period.SPATIAL_DENSITY
+    benchmark.extra_info["selected_by_period"] = {
+        f"{int(p.period_s / 60)}min": {
+            k: round(v, 1) for k, v in p.selected_counts().items()
+        }
+        for p in result.points
+    }

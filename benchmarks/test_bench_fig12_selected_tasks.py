@@ -1,0 +1,24 @@
+"""Benchmark: regenerate Figure 12 (selected devices vs concurrent tasks)."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.experiments import exp3_tasks
+
+
+def test_fig12_selected_devices_vs_tasks(benchmark, scenario):
+    result = run_once(benchmark, exp3_tasks.run, scenario)
+    for point in result.points:
+        counts = point.selected_counts()
+        # Paper: Periodic and PCS choose all qualified devices, while
+        # Sense-Aid orchestrates the required number from the limited
+        # pool (per-request it still meets the spatial density).
+        assert counts["sense-aid"] >= exp3_tasks.SPATIAL_DENSITY - 0.01
+        assert counts["periodic"] > counts["sense-aid"]
+        assert counts["pcs"] > counts["sense-aid"]
+    benchmark.extra_info["selected_by_task_count"] = {
+        str(p.task_count): {
+            k: round(v, 1) for k, v in p.selected_counts().items()
+        }
+        for p in result.points
+    }

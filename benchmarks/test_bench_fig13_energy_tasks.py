@@ -1,0 +1,30 @@
+"""Benchmark: regenerate Figure 13 (energy/device vs concurrent tasks)."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.experiments import exp3_tasks
+
+
+def test_fig13_energy_vs_task_count(benchmark, scenario):
+    result = run_once(benchmark, exp3_tasks.run, scenario)
+    # Paper shapes: per-device energy rises with task count for every
+    # framework; Sense-Aid stays cheapest; and Sense-Aid's *relative*
+    # saving over PCS grows with concurrency (assignment batching).
+    for name in ("periodic", "pcs", "basic", "complete"):
+        energies = [p.energy_per_device()[name] for p in result.points]
+        assert energies[-1] > energies[0]
+    for point in result.points:
+        energy = point.energy_per_device()
+        assert energy["complete"] <= energy["basic"] < energy["pcs"]
+    savings = [p.savings_row()["complete_vs_pcs"] for p in result.points]
+    assert savings[-1] > savings[0]
+    benchmark.extra_info["energy_per_device_j"] = {
+        str(p.task_count): {
+            k: round(v, 1) for k, v in p.energy_per_device().items()
+        }
+        for p in result.points
+    }
+    benchmark.extra_info["complete_vs_pcs_savings_pct"] = [
+        round(s, 1) for s in savings
+    ]

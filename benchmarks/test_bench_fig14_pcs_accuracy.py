@@ -1,0 +1,36 @@
+"""Benchmark: regenerate Figure 14 (PCS prediction-accuracy sweep)."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.experiments import pcs_accuracy
+
+
+def test_fig14_pcs_accuracy_sweep(benchmark, scenario):
+    result = run_once(benchmark, pcs_accuracy.run, scenario)
+    energies = [p.pcs_energy_per_device_j for p in result.points]
+    # Paper shapes: PCS energy falls monotonically (modulo noise) with
+    # accuracy; at the realistic 40% accuracy PCS costs well over
+    # Sense-Aid; only near-ideal prediction lets PCS undercut both
+    # variants.
+    assert energies[0] > energies[-1]
+    at_40 = result.points[0]
+    assert at_40.accuracy == 0.40
+    assert at_40.ratio_vs_basic > 1.3
+    assert at_40.ratio_vs_complete > 1.5
+    ideal = result.points[-1]
+    assert ideal.accuracy == 1.0
+    assert ideal.ratio_vs_basic < 1.0
+    assert ideal.ratio_vs_complete < 1.0
+    benchmark.extra_info["pcs_j_per_device"] = {
+        f"{p.accuracy:.0%}": round(p.pcs_energy_per_device_j, 1)
+        for p in result.points
+    }
+    benchmark.extra_info["sense_aid_j_per_device"] = {
+        "basic": round(result.basic_energy_per_device_j, 1),
+        "complete": round(result.complete_energy_per_device_j, 1),
+    }
+    benchmark.extra_info["crossover_accuracy"] = {
+        "vs_basic": result.crossover_accuracy(against="basic"),
+        "vs_complete": result.crossover_accuracy(against="complete"),
+    }

@@ -1,0 +1,18 @@
+"""Benchmark: regenerate Figure 1 (the energy-tolerance survey)."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.experiments import survey
+
+
+def test_fig1_survey(benchmark):
+    buckets = run_once(benchmark, survey.run)
+    assert sum(b.respondents for b in buckets) == survey.RESPONDENTS
+    by_label = {b.label: b for b in buckets}
+    assert by_label["up to 2%"].fraction == 0.414
+    assert by_label["over 10%"].respondents == 0
+    benchmark.extra_info["buckets"] = {
+        b.label: b.respondents for b in buckets
+    }
+    benchmark.extra_info["majority_le_2pct"] = survey.majority_tolerance_pct()

@@ -1,0 +1,28 @@
+"""Benchmark: regenerate Figure 2 (Pressurenet / WeatherSignal power)."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.experiments import power_case_study
+
+
+def test_fig2_power_case_study(benchmark):
+    rows = run_once(benchmark, power_case_study.run)
+    assert len(rows) == 8  # 2 apps × 2 frequencies × 2 radios
+    # Paper shapes: every bar over the 2% budget; LTE > 3G;
+    # WeatherSignal > Pressurenet.
+    assert all(r.over_2pct_budget for r in rows)
+    by_key = {(r.app, r.update_period_label, r.radio): r.energy_j for r in rows}
+    for app in ("Pressurenet", "WeatherSignal"):
+        for period in ("5 min", "10 min"):
+            assert by_key[(app, period, "LTE")] > by_key[(app, period, "3G")]
+    for period in ("5 min", "10 min"):
+        for radio in ("3G", "LTE"):
+            assert (
+                by_key[("WeatherSignal", period, radio)]
+                > by_key[("Pressurenet", period, radio)]
+            )
+    benchmark.extra_info["battery_pct"] = {
+        f"{r.app}/{r.update_period_label}/{r.radio}": round(r.battery_pct, 2)
+        for r in rows
+    }

@@ -1,0 +1,20 @@
+"""Benchmark: regenerate Figure 7 (qualified devices vs area radius)."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.experiments import exp1_radius
+
+
+def test_fig7_qualified_devices(benchmark, scenario):
+    result = run_once(benchmark, exp1_radius.run, scenario)
+    rows = result.fig7_rows()
+    counts = [qualified for _, qualified in rows]
+    # Paper shape: qualified devices grow with the radius, reaching
+    # around 11 of the 20 participants at 1000 m.
+    assert counts == sorted(counts)
+    assert counts[0] < counts[-1]
+    assert 8.0 <= counts[-1] <= 16.0
+    benchmark.extra_info["qualified_by_radius"] = {
+        f"{int(radius)}m": round(q, 1) for radius, q in rows
+    }

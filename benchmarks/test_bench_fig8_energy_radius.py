@@ -1,0 +1,29 @@
+"""Benchmark: regenerate Figure 8 (total energy vs area radius)."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.experiments import exp1_radius
+
+
+def test_fig8_total_energy_vs_radius(benchmark, scenario):
+    result = run_once(benchmark, exp1_radius.run, scenario)
+    # Paper shapes: SA-Complete <= SA-Basic << PCS at every radius, and
+    # Sense-Aid's relative saving grows with the radius.
+    for point in result.points:
+        assert point.complete.energy.total_j <= point.basic.energy.total_j
+        assert point.basic.energy.total_j < point.pcs.energy.total_j
+        assert point.pcs.energy.total_j < point.periodic.energy.total_j
+    savings = [p.savings_row()["complete_vs_pcs"] for p in result.points]
+    assert savings[-1] > savings[0]
+    benchmark.extra_info["total_energy_j"] = {
+        f"{int(p.radius_m)}m": {
+            "pcs": round(p.pcs.energy.total_j, 1),
+            "basic": round(p.basic.energy.total_j, 1),
+            "complete": round(p.complete.energy.total_j, 1),
+        }
+        for p in result.points
+    }
+    benchmark.extra_info["complete_vs_pcs_savings_pct"] = [
+        round(s, 1) for s in savings
+    ]

@@ -1,0 +1,63 @@
+"""Benchmark: the "not harming crowdsensing data" prerequisite.
+
+Every energy number in Table 2 is conditional on the frameworks
+delivering the data the application asked for.  This benchmark runs
+the representative campaign and reports completeness and delivery
+latency next to the energy numbers.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.analysis.quality import baseline_quality, delivery_latency, sense_aid_quality
+from repro.core.config import ServerMode
+from repro.experiments.common import (
+    ScenarioConfig,
+    TaskParams,
+    run_pcs_arm,
+    run_periodic_arm,
+    run_sense_aid_arm,
+)
+
+TASKS = [
+    TaskParams(
+        area_radius_m=1000.0,
+        spatial_density=2,
+        sampling_period_s=600.0,
+        sampling_duration_s=5400.0,
+    )
+]
+
+
+def run_all(scenario: ScenarioConfig):
+    return {
+        "sense_aid": run_sense_aid_arm(scenario, TASKS, ServerMode.COMPLETE),
+        "periodic": run_periodic_arm(scenario, TASKS),
+        "pcs": run_pcs_arm(scenario, TASKS),
+    }
+
+
+def test_bench_data_quality(benchmark, scenario):
+    arms = run_once(benchmark, run_all, scenario)
+    sense_aid = sense_aid_quality(arms["sense_aid"].extras["server"])
+    periodic = baseline_quality(arms["periodic"].extras["framework"])
+    pcs = baseline_quality(arms["pcs"].extras["framework"])
+    # All frameworks deliver; Sense-Aid's saving is not bought with
+    # data loss.
+    assert sense_aid.completeness >= 0.85
+    assert sense_aid.completeness >= min(periodic.completeness, pcs.completeness) - 0.1
+    latency = delivery_latency(arms["sense_aid"].extras["cas"].readings)
+    assert latency.max_s <= TASKS[0].sampling_period_s + 10.0
+    benchmark.extra_info["completeness"] = {
+        "sense_aid": round(sense_aid.completeness, 3),
+        "periodic": round(periodic.completeness, 3),
+        "pcs": round(pcs.completeness, 3),
+    }
+    benchmark.extra_info["sense_aid_latency_s"] = {
+        "mean": round(latency.mean_s, 1),
+        "p95": round(latency.p95_s, 1),
+        "max": round(latency.max_s, 1),
+    }
+    benchmark.extra_info["energy_j"] = {
+        name: round(arm.energy.total_j, 1) for name, arm in arms.items()
+    }

@@ -1,0 +1,94 @@
+"""Benchmark: data-collection resilience under network loss (§8).
+
+Sweeps core-network loss and measures request completeness with and
+without deadline reassignment — quantifying what the failure-handling
+extension buys and what it costs in extra assignments.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.cellular.enodeb import ENodeB, TowerRegistry
+from repro.cellular.network import CellularNetwork
+from repro.clientlib import SenseAidClient
+from repro.core.config import SenseAidConfig, ServerMode
+from repro.core.server import SenseAidServer
+from repro.core.tasks import TaskSpec
+from repro.devices.sensors import SensorType
+from repro.environment.geometry import Point
+from repro.environment.mobility import StaticMobility
+from repro.devices.device import SimDevice
+from repro.sim.engine import Simulator
+
+CENTER = Point(500.0, 500.0)
+LOSS_RATES = (0.0, 0.2, 0.4, 0.6)
+
+
+def run_point(loss: float, reassign: bool, seed: int = 5):
+    sim = Simulator(seed=seed)
+    registry = TowerRegistry([ENodeB("t0", CENTER, coverage_radius_m=5000.0)])
+    network = CellularNetwork(sim, loss_probability=loss)
+    config = SenseAidConfig(
+        mode=ServerMode.COMPLETE,
+        deadline_grace_s=240.0,
+        reassign_margin_s=120.0 if reassign else None,
+    )
+    server = SenseAidServer(sim, registry, network, config)
+    for i in range(8):
+        device = SimDevice(sim, f"d{i}", mobility=StaticMobility(CENTER))
+        SenseAidClient(sim, device, server, network).register()
+    server.submit_task(
+        TaskSpec(
+            sensor_type=SensorType.BAROMETER,
+            center=CENTER,
+            area_radius_m=1000.0,
+            spatial_density=2,
+            sampling_period_s=600.0,
+            sampling_duration_s=6000.0,
+        ),
+        lambda p: None,
+    )
+    sim.run(until=6100.0)
+    server.shutdown()
+    issued = server.stats.requests_issued
+    return (
+        server.stats.requests_satisfied / issued if issued else 1.0,
+        server.stats.reassignments,
+    )
+
+
+def run_sweep():
+    results = {}
+    for loss in LOSS_RATES:
+        plain, _ = run_point(loss, reassign=False)
+        recovered, reassignments = run_point(loss, reassign=True)
+        results[loss] = {
+            "plain": plain,
+            "with_reassignment": recovered,
+            "reassignments": reassignments,
+        }
+    return results
+
+
+def test_bench_resilience_under_loss(benchmark):
+    results = run_once(benchmark, run_sweep)
+    # Lossless: both perfect, no spurious reassignments.
+    assert results[0.0]["plain"] == 1.0
+    assert results[0.0]["with_reassignment"] == 1.0
+    assert results[0.0]["reassignments"] == 0
+    # Moderate loss: reassignment recovers strictly better
+    # completeness; at extreme loss the substitutes' uploads are lost
+    # too, so the best we demand is "no worse".
+    assert results[0.4]["with_reassignment"] > results[0.4]["plain"]
+    assert results[0.6]["with_reassignment"] >= results[0.6]["plain"]
+    # Completeness without reassignment degrades as loss grows.
+    plains = [results[l]["plain"] for l in LOSS_RATES]
+    assert plains[0] > plains[-1]
+    benchmark.extra_info["completeness_by_loss"] = {
+        str(loss): {
+            "plain": round(r["plain"], 3),
+            "with_reassignment": round(r["with_reassignment"], 3),
+            "reassignments": r["reassignments"],
+        }
+        for loss, r in results.items()
+    }

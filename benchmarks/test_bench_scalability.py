@@ -1,0 +1,71 @@
+"""Scalability benchmark — paper §8 ongoing work.
+
+"In ongoing work, we are looking at scalability of our framework to
+large geographic regions."  This benchmark scales the world an order
+of magnitude past the user study (200 devices, a 3×3 tower grid,
+simultaneous campaigns at all four study sites) and measures the
+simulation's event throughput and the server's scheduling outcomes.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.cellular.enodeb import TowerRegistry, grid_towers
+from repro.cellular.network import CellularNetwork
+from repro.clientlib import SenseAidClient
+from repro.core.config import SenseAidConfig, ServerMode
+from repro.core.server import SenseAidServer
+from repro.devices.sensors import SensorType
+from repro.environment.campus import STUDY_SITES, default_campus
+from repro.environment.population import PopulationConfig, build_population
+from repro.serverlib import CrowdsensingAppServer
+from repro.sim.engine import Simulator
+
+DEVICES = 200
+DURATION_S = 3600.0
+
+
+def run_large_scale():
+    sim = Simulator(seed=13)
+    campus = default_campus()
+    registry = TowerRegistry(
+        grid_towers(campus.width_m, campus.height_m, rows=3, cols=3)
+    )
+    network = CellularNetwork(sim)
+    devices = build_population(
+        sim, campus, PopulationConfig(size=DEVICES)
+    )
+    server = SenseAidServer(
+        sim, registry, network, SenseAidConfig(mode=ServerMode.COMPLETE)
+    )
+    for device in devices:
+        SenseAidClient(sim, device, server, network).register()
+    app = CrowdsensingAppServer(server, "city-scale")
+    for site in STUDY_SITES:
+        app.task(
+            SensorType.BAROMETER,
+            campus.site(site).position,
+            area_radius_m=800.0,
+            spatial_density=5,
+            sampling_period_s=300.0,
+            sampling_duration_s=DURATION_S,
+        )
+    sim.run(until=DURATION_S + 60.0)
+    server.shutdown()
+    return sim, server, devices, app
+
+
+def test_scalability_200_devices(benchmark):
+    sim, server, devices, app = run_once(benchmark, run_large_scale)
+    # The server kept up: nearly every request scheduled, with data.
+    assert server.stats.requests_issued == 4 * 12
+    scheduled_fraction = server.stats.requests_scheduled / server.stats.requests_issued
+    assert scheduled_fraction > 0.9
+    assert server.stats.data_points > 0.8 * server.stats.assignments
+    total_energy = sum(d.crowdsensing_energy_j() for d in devices)
+    benchmark.extra_info["devices"] = DEVICES
+    benchmark.extra_info["events_processed"] = sim.events_processed
+    benchmark.extra_info["requests_scheduled"] = server.stats.requests_scheduled
+    benchmark.extra_info["data_points"] = server.stats.data_points
+    benchmark.extra_info["total_energy_j"] = round(total_energy, 1)
+    benchmark.extra_info["readings"] = len(app.readings)

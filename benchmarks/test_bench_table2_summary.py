@@ -1,0 +1,32 @@
+"""Benchmark: regenerate Table 2 (the energy-savings summary)."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.experiments import summary
+
+
+def test_table2_energy_savings_summary(benchmark, scenario):
+    result = run_once(benchmark, summary.run, scenario)
+    # Paper shapes, per experiment: Complete saves at least as much as
+    # Basic against both comparators, and savings over Periodic exceed
+    # savings over PCS (Periodic is the weaker baseline).
+    for cells in result.experiment_cells.values():
+        by_key = {c.comparison: c for c in cells}
+        assert (
+            by_key["complete_vs_periodic"].mean_pct
+            >= by_key["basic_vs_periodic"].mean_pct
+        )
+        assert by_key["complete_vs_pcs"].mean_pct >= by_key["basic_vs_pcs"].mean_pct
+        assert (
+            by_key["basic_vs_periodic"].mean_pct > by_key["basic_vs_pcs"].mean_pct
+        )
+        # Sense-Aid always wins on average, by a wide margin.
+        assert by_key["complete_vs_periodic"].mean_pct > 60.0
+        assert by_key["complete_vs_pcs"].mean_pct > 50.0
+    benchmark.extra_info["table2"] = {
+        experiment: {
+            cell.comparison: cell.formatted() for cell in cells
+        }
+        for experiment, cells in result.experiment_cells.items()
+    }

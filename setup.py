@@ -1,0 +1,10 @@
+"""Thin setup.py shim.
+
+All metadata lives in pyproject.toml; this file exists so that
+``pip install -e .`` works on environments whose setuptools predates
+PEP 660 editable wheels (no ``wheel`` package available offline).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,14 @@
+"""Sense-Aid (Middleware '17) reproduction.
+
+A network-as-a-service middleware for energy-efficient participatory
+sensing, reproduced end-to-end on a deterministic discrete-event
+simulation of a campus, an LTE RRC radio stack, and a fleet of mobile
+devices.  See README.md for the architecture and EXPERIMENTS.md for
+paper-vs-measured results.
+"""
+
+__version__ = "1.0.0"
+
+from repro.sim import Simulator
+
+__all__ = ["Simulator", "__version__"]

@@ -1,0 +1,18 @@
+"""Analysis utilities: energy summaries, fairness metrics, radio-state
+traces (the ARO-tool stand-in), and paper-style table rendering."""
+
+from repro.analysis.energy import EnergySummary, savings_pct, summarize_devices
+from repro.analysis.fairness import jain_index, selection_spread
+from repro.analysis.tables import format_table
+from repro.analysis.trace import RadioTraceRecorder, TraceSegment
+
+__all__ = [
+    "EnergySummary",
+    "RadioTraceRecorder",
+    "TraceSegment",
+    "format_table",
+    "jain_index",
+    "savings_pct",
+    "selection_spread",
+    "summarize_devices",
+]

@@ -1,0 +1,136 @@
+"""CSV export of experiment results.
+
+Experiment `run()` functions return structured dataclasses; this
+module flattens the common result shapes into CSV files so downstream
+users can plot the reproduced figures with their tool of choice.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import Iterable, List, Sequence
+
+
+def rows_to_csv(header: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Render rows as CSV text (RFC-4180 quoting)."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(list(header))
+    for row in rows:
+        if len(row) != len(header):
+            raise ValueError(
+                f"row has {len(row)} fields but header has {len(header)}"
+            )
+        writer.writerow(list(row))
+    return buffer.getvalue()
+
+
+def write_csv(
+    path: str, header: Sequence[str], rows: Iterable[Sequence[object]]
+) -> None:
+    """Write rows to a CSV file."""
+    with open(path, "w", encoding="utf-8", newline="") as f:
+        f.write(rows_to_csv(header, rows))
+
+
+def exp1_to_csv(result) -> str:
+    """Experiment-1 result → CSV: one row per radius with all arms."""
+    header = [
+        "radius_m",
+        "qualified_mean",
+        "periodic_j",
+        "pcs_j",
+        "sense_aid_basic_j",
+        "sense_aid_complete_j",
+    ]
+    rows = [
+        (
+            point.radius_m,
+            round(point.qualified_mean, 2),
+            round(point.periodic.energy.total_j, 3),
+            round(point.pcs.energy.total_j, 3),
+            round(point.basic.energy.total_j, 3),
+            round(point.complete.energy.total_j, 3),
+        )
+        for point in result.points
+    ]
+    return rows_to_csv(header, rows)
+
+
+def exp2_to_csv(result) -> str:
+    """Experiment-2 result → CSV: per-device energy per period."""
+    header = [
+        "period_s",
+        "periodic_j_per_device",
+        "pcs_j_per_device",
+        "sense_aid_basic_j_per_device",
+        "sense_aid_complete_j_per_device",
+    ]
+    rows = []
+    for point in result.points:
+        energy = point.energy_per_device()
+        rows.append(
+            (
+                point.period_s,
+                round(energy["periodic"], 3),
+                round(energy["pcs"], 3),
+                round(energy["basic"], 3),
+                round(energy["complete"], 3),
+            )
+        )
+    return rows_to_csv(header, rows)
+
+
+def exp3_to_csv(result) -> str:
+    """Experiment-3 result → CSV: per-device energy per task count."""
+    header = [
+        "tasks",
+        "periodic_j_per_device",
+        "pcs_j_per_device",
+        "sense_aid_basic_j_per_device",
+        "sense_aid_complete_j_per_device",
+    ]
+    rows = []
+    for point in result.points:
+        energy = point.energy_per_device()
+        rows.append(
+            (
+                point.task_count,
+                round(energy["periodic"], 3),
+                round(energy["pcs"], 3),
+                round(energy["basic"], 3),
+                round(energy["complete"], 3),
+            )
+        )
+    return rows_to_csv(header, rows)
+
+
+def fig14_to_csv(result) -> str:
+    """Figure-14 result → CSV: PCS energy and ratios per accuracy."""
+    header = ["accuracy", "pcs_j_per_device", "ratio_vs_basic", "ratio_vs_complete"]
+    rows = [
+        (
+            point.accuracy,
+            round(point.pcs_energy_per_device_j, 3),
+            round(point.ratio_vs_basic, 4),
+            round(point.ratio_vs_complete, 4),
+        )
+        for point in result.points
+    ]
+    return rows_to_csv(header, rows)
+
+
+def selection_log_to_csv(selection_log) -> str:
+    """A Sense-Aid selection log (Fig. 9) → CSV, one row per round."""
+    header = ["time_s", "request_id", "qualified", "selected"]
+    rows = [
+        (
+            event.time,
+            event.request_id,
+            ";".join(event.qualified),
+            ";".join(event.selected),
+        )
+        for event in selection_log
+    ]
+    return rows_to_csv(header, rows)

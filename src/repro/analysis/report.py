@@ -1,0 +1,56 @@
+"""One-shot reproduction report.
+
+Runs a chosen set of experiments and assembles their printed outputs
+into a single text report, with a header recording the seed and
+package version — the artifact a reviewer asks for ("send me the run
+that produced these numbers").
+"""
+
+from __future__ import annotations
+
+import io
+import sys
+from contextlib import redirect_stdout
+from typing import List, Optional, Sequence
+
+import repro
+from repro.cli import RUN_ORDER, run_experiment
+
+HEADER_RULE = "=" * 72
+
+
+def generate_report(
+    *,
+    seed: int = 7,
+    experiments: Optional[Sequence[str]] = None,
+) -> str:
+    """Run ``experiments`` (default: everything) and build the report."""
+    names: List[str] = list(experiments) if experiments is not None else list(RUN_ORDER)
+    sections = [
+        "Sense-Aid reproduction report",
+        f"package version: {repro.__version__}",
+        f"scenario seed: {seed}",
+        f"python: {sys.version.split()[0]}",
+        HEADER_RULE,
+    ]
+    for name in names:
+        buffer = io.StringIO()
+        with redirect_stdout(buffer):
+            run_experiment(name, seed=seed)
+        sections.append(f"[{name}]")
+        sections.append(buffer.getvalue().rstrip())
+        sections.append(HEADER_RULE)
+    return "\n\n".join(sections) + "\n"
+
+
+def write_report(
+    path: str,
+    *,
+    seed: int = 7,
+    experiments: Optional[Sequence[str]] = None,
+) -> str:
+    """Generate and save a report; returns the report text."""
+    report = generate_report(seed=seed, experiments=experiments)
+    with open(path, "w", encoding="utf-8") as f:
+        f.write(report)
+    return report

@@ -1,0 +1,108 @@
+"""Radio-state trace recording — the stand-in for AT&T's ARO tool.
+
+The paper's Fig. 6 is an ARO screenshot of one device's LTE radio
+states around a crowdsensing upload in the tail.  The recorder attaches
+to a modem, logs every state transition, and renders the timeline as
+segments or as an ASCII strip chart.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.cellular.rrc import RadioModem, RRCState
+from repro.sim.engine import Simulator
+
+_STATE_GLYPH = {
+    RRCState.IDLE: ".",
+    RRCState.PROMOTING: "P",
+    RRCState.ACTIVE: "A",
+    RRCState.TAIL: "t",
+}
+
+
+@dataclass(frozen=True)
+class TraceSegment:
+    """One contiguous occupancy of a radio state."""
+
+    state: RRCState
+    start: float
+    end: Optional[float]  # None while the occupancy is still open
+
+    @property
+    def duration(self) -> Optional[float]:
+        if self.end is None:
+            return None
+        return self.end - self.start
+
+
+class RadioTraceRecorder:
+    """Attach to a modem; collect its state timeline."""
+
+    def __init__(self, sim: Simulator, modem: RadioModem) -> None:
+        self._sim = sim
+        self._modem = modem
+        self._segments: List[TraceSegment] = [
+            TraceSegment(modem.state, sim.now, None)
+        ]
+        modem.add_state_listener(self._on_transition)
+
+    def _on_transition(self, old: RRCState, new: RRCState) -> None:
+        now = self._sim.now
+        open_segment = self._segments[-1]
+        self._segments[-1] = TraceSegment(open_segment.state, open_segment.start, now)
+        self._segments.append(TraceSegment(new, now, None))
+
+    def segments(self, *, closed_at: Optional[float] = None) -> List[TraceSegment]:
+        """The timeline; optionally close the open segment at a time."""
+        result = list(self._segments)
+        if closed_at is not None and result and result[-1].end is None:
+            last = result[-1]
+            result[-1] = TraceSegment(last.state, last.start, max(last.start, closed_at))
+        return result
+
+    def time_in_state(self, state: RRCState, *, until: float) -> float:
+        """Total seconds in ``state`` up to time ``until``."""
+        total = 0.0
+        for segment in self.segments(closed_at=until):
+            end = segment.end if segment.end is not None else until
+            if segment.state is state:
+                total += max(0.0, min(end, until) - segment.start)
+        return total
+
+    def tail_segments(self, *, until: float) -> List[TraceSegment]:
+        """The tail occupancies (the Fig. 6 object of interest)."""
+        return [
+            s for s in self.segments(closed_at=until) if s.state is RRCState.TAIL
+        ]
+
+    def render_ascii(
+        self,
+        *,
+        until: float,
+        start: float = 0.0,
+        resolution_s: float = 0.5,
+        width: int = 120,
+    ) -> str:
+        """An ASCII strip chart: one glyph per ``resolution_s``.
+
+        ``.`` idle, ``P`` promoting, ``A`` active, ``t`` tail — the
+        same visual story Fig. 6 tells.  Rendering begins at ``start``.
+        """
+        if resolution_s <= 0:
+            raise ValueError("resolution_s must be positive")
+        if start < 0 or start > until:
+            raise ValueError("start must be within [0, until]")
+        segments = self.segments(closed_at=until)
+        glyphs = []
+        t = max(start, segments[0].start)
+        index = 0
+        while t < until and len(glyphs) < width:
+            while index < len(segments) - 1 and (
+                segments[index].end is not None and segments[index].end <= t
+            ):
+                index += 1
+            glyphs.append(_STATE_GLYPH[segments[index].state])
+            t += resolution_s
+        return "".join(glyphs)

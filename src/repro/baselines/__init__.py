@@ -1,0 +1,30 @@
+"""Baseline frameworks the paper compares against.
+
+- **Periodic** — the state of practice: every device running the app
+  senses and uploads at a fixed period, regardless of radio state.
+  Each upload from an idle radio pays promotion + transfer + a full
+  tail.
+- **PCS** (Piggyback CrowdSensing, Lane et al., SenSys'13) — the state
+  of the art: each device predicts the user's next app session and
+  piggybacks its upload onto that traffic; a misprediction (or no
+  traffic arriving) falls back to a deadline upload from idle.  The
+  predictor's accuracy is a knob, defaulted to the 40% top-1-app
+  saturation accuracy the paper reads off Lane et al.'s Figure 8.
+
+Neither baseline orchestrates across devices: *every* qualified device
+in the task region performs every sample — the behaviour Figs. 10 and
+12 show.
+"""
+
+from repro.baselines.common import BaselineCollector, FrameworkStats
+from repro.baselines.coverage import CoverageFramework
+from repro.baselines.pcs import PCSFramework
+from repro.baselines.periodic import PeriodicFramework
+
+__all__ = [
+    "BaselineCollector",
+    "CoverageFramework",
+    "FrameworkStats",
+    "PCSFramework",
+    "PeriodicFramework",
+]

@@ -1,0 +1,23 @@
+"""The Periodic baseline: sense and upload at every sampling instant.
+
+This is the paper's state-of-practice comparator — what Pressurenet
+and WeatherSignal do.  No radio awareness: if the radio is idle (the
+common case), every upload pays the IDLE→CONNECTED promotion and drags
+the radio through a full high-power tail.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.common import BaselineFramework
+from repro.core.tasks import SensingRequest
+from repro.devices.device import SimDevice
+
+
+class PeriodicFramework(BaselineFramework):
+    """Fixed-period sensing and immediate upload on every device."""
+
+    name = "periodic"
+
+    def _handle_obligation(self, device: SimDevice, request: SensingRequest) -> None:
+        self._upload(device, request)
+        self.stats.uploads_forced += 1

@@ -1,0 +1,37 @@
+"""Cellular (LTE / 3G) network substrate.
+
+The paper's energy argument rests on the Radio Resource Control (RRC)
+protocol: a device pays a large *promotion* cost to move from
+``RRC_IDLE`` to ``RRC_CONNECTED``, and then remains in a high-power
+*tail* for ~11 s after the last packet.  This subpackage models that
+state machine per device, the per-state power draw (figures from Huang
+et al., MobiSys'12, which the paper cites), the eNodeB/tower layer that
+gives the Sense-Aid server visibility into device location and radio
+state, and a message-passing network between devices and servers.
+"""
+
+from repro.cellular.enodeb import ENodeB, TowerRegistry
+from repro.cellular.network import CellularNetwork, DeliveryReceipt
+from repro.cellular.packets import Message, MessageKind, TrafficCategory
+from repro.cellular.power import (
+    LTE_POWER_PROFILE,
+    THREEG_POWER_PROFILE,
+    RadioPowerProfile,
+)
+from repro.cellular.rrc import RadioModem, RRCState, TailPolicy
+
+__all__ = [
+    "CellularNetwork",
+    "DeliveryReceipt",
+    "ENodeB",
+    "LTE_POWER_PROFILE",
+    "Message",
+    "MessageKind",
+    "RadioModem",
+    "RadioPowerProfile",
+    "RRCState",
+    "THREEG_POWER_PROFILE",
+    "TailPolicy",
+    "TowerRegistry",
+    "TrafficCategory",
+]

@@ -1,0 +1,156 @@
+"""LTE DRX (Discontinuous Reception) cycle model.
+
+The RRC_CONNECTED tail is not a flat power plateau: after the last
+packet the radio runs *continuous reception* for a short inactivity
+window, then cycles through **Short DRX** (fast on/off cycles) and
+**Long DRX** (slower cycles) until the inactivity timer expires and
+the radio demotes to RRC_IDLE.  Huang et al. (MobiSys'12) measured the
+Galaxy-phone LTE stack the paper builds on; this module encodes that
+structure for two purposes:
+
+1. **Deriving the flat-tail approximation** used by
+   :class:`~repro.cellular.power.RadioPowerProfile`: the profile's
+   ``tail_mw``/``tail_s`` should equal the duty-cycle-weighted average
+   of the DRX phases (:func:`derive_tail_parameters` checks this).
+2. **Paging latency**: a device in DRX hears the network only during
+   its on-durations, so a downlink page waits for the next wake —
+   :meth:`DRXConfig.paging_delay` quantifies the latency cost that
+   motivates Sense-Aid's pull-style (device-initiated) control plane.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class DRXPhase:
+    """One DRX phase: cycles of ``on_ms`` awake out of ``cycle_ms``."""
+
+    name: str
+    cycle_ms: float
+    on_ms: float
+    duration_s: float
+    on_power_mw: float
+    sleep_power_mw: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.on_ms <= self.cycle_ms:
+            raise ValueError("need 0 < on_ms <= cycle_ms")
+        if self.duration_s < 0:
+            raise ValueError("duration_s must be non-negative")
+        if self.sleep_power_mw > self.on_power_mw:
+            raise ValueError("sleep power must not exceed on power")
+
+    @property
+    def duty_cycle(self) -> float:
+        return self.on_ms / self.cycle_ms
+
+    def average_power_mw(self) -> float:
+        """Duty-cycle-weighted mean power across the phase."""
+        return (
+            self.duty_cycle * self.on_power_mw
+            + (1.0 - self.duty_cycle) * self.sleep_power_mw
+        )
+
+    def energy_j(self) -> float:
+        return self.average_power_mw() / 1000.0 * self.duration_s
+
+
+@dataclass(frozen=True)
+class DRXConfig:
+    """The tail's phase sequence: continuous RX → short DRX → long DRX."""
+
+    continuous_rx: DRXPhase
+    short_drx: DRXPhase
+    long_drx: DRXPhase
+
+    def phases(self) -> tuple:
+        return (self.continuous_rx, self.short_drx, self.long_drx)
+
+    def total_tail_s(self) -> float:
+        return sum(p.duration_s for p in self.phases())
+
+    def total_tail_energy_j(self) -> float:
+        return sum(p.energy_j() for p in self.phases())
+
+    def average_tail_power_mw(self) -> float:
+        """The flat-tail power equivalent to the full phase sequence."""
+        total = self.total_tail_s()
+        if total == 0.0:
+            return 0.0
+        return self.total_tail_energy_j() * 1000.0 / total
+
+    def phase_at(self, seconds_into_tail: float) -> DRXPhase:
+        """Which phase the radio is in, ``seconds_into_tail`` after the
+        last packet.  Past the tail end, stays in long DRX (the caller
+        should have demoted to IDLE)."""
+        if seconds_into_tail < 0:
+            raise ValueError("seconds_into_tail must be non-negative")
+        elapsed = 0.0
+        for phase in self.phases():
+            elapsed += phase.duration_s
+            if seconds_into_tail < elapsed:
+                return phase
+        return self.long_drx
+
+    def paging_delay(self, seconds_into_tail: float) -> float:
+        """Seconds until the radio next listens for a page.
+
+        0.0 while in an on-duration; otherwise the remainder of the
+        current DRX cycle's sleep period.
+        """
+        phase = self.phase_at(seconds_into_tail)
+        start = 0.0
+        for p in self.phases():
+            if p is phase:
+                break
+            start += p.duration_s
+        into_phase_ms = (seconds_into_tail - start) * 1000.0
+        position_ms = into_phase_ms % phase.cycle_ms
+        if position_ms < phase.on_ms:
+            return 0.0
+        return (phase.cycle_ms - position_ms) / 1000.0
+
+
+#: Huang et al.'s measured LTE DRX structure (rounded): ~1 s of
+#: continuous reception after the last packet, ~1 s of short DRX
+#: (20 ms on / 100 ms cycle), then long DRX (43 ms on / 320 ms cycle)
+#: until the ~11.5 s inactivity timer fires.  On-power matches the
+#: connected-idle plateau; sleep power is the RF-off floor.
+LTE_DRX = DRXConfig(
+    continuous_rx=DRXPhase(
+        name="continuous_rx",
+        cycle_ms=1.0,
+        on_ms=1.0,
+        duration_s=1.0,
+        on_power_mw=1210.0,
+        sleep_power_mw=1210.0,
+    ),
+    short_drx=DRXPhase(
+        name="short_drx",
+        cycle_ms=100.0,
+        on_ms=45.0,
+        duration_s=1.0,
+        on_power_mw=1210.0,
+        sleep_power_mw=900.0,
+    ),
+    long_drx=DRXPhase(
+        name="long_drx",
+        cycle_ms=320.0,
+        on_ms=60.0,
+        duration_s=9.5,
+        on_power_mw=1210.0,
+        sleep_power_mw=1008.0,
+    ),
+)
+
+
+def derive_tail_parameters(config: DRXConfig = LTE_DRX) -> tuple:
+    """(tail_s, tail_mw) implied by a DRX phase sequence.
+
+    The repository's flat LTE profile (``tail_s=11.5``,
+    ``tail_mw=1060``) is the flat-tail equivalent of :data:`LTE_DRX`;
+    the test suite asserts the two agree.
+    """
+    return (config.total_tail_s(), config.average_tail_power_mw())

@@ -1,0 +1,175 @@
+"""eNodeBs (cell towers) and the registry the Sense-Aid server queries.
+
+The paper's design point is that the cellular edge *already knows* each
+device's coarse location (which cell it is attached to) and its RRC
+state, so the middleware gets both for free, without any GPS cost on
+the device.  :class:`TowerRegistry` is that source of truth: it tracks
+which tower each registered device is attached to and exposes
+location/radio-state lookups to the server side.
+
+Devices are referenced by duck type: anything with a ``device_id``
+attribute, a ``position()`` method returning an
+:class:`~repro.environment.geometry.Point`, and a ``modem`` attribute
+(a :class:`~repro.cellular.rrc.RadioModem`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.environment.geometry import Point
+
+
+@dataclass(frozen=True)
+class ENodeB:
+    """One cell tower."""
+
+    tower_id: str
+    position: Point
+    coverage_radius_m: float = 1500.0
+
+    def covers(self, point: Point) -> bool:
+        return point.within(self.position, self.coverage_radius_m)
+
+
+class TowerRegistry:
+    """Tracks towers and device attachments.
+
+    Attachment is nearest-tower.  ``refresh_attachments`` re-evaluates
+    every device against the towers; the experiments call it whenever
+    the server takes a location snapshot, which mirrors how a handover
+    updates the network's view.
+    """
+
+    def __init__(self, towers: Sequence[ENodeB]) -> None:
+        if not towers:
+            raise ValueError("at least one tower is required")
+        ids = [t.tower_id for t in towers]
+        if len(set(ids)) != len(ids):
+            raise ValueError("tower ids must be unique")
+        self._towers: Dict[str, ENodeB] = {t.tower_id: t for t in towers}
+        self._devices: Dict[str, object] = {}
+        self._attachment: Dict[str, str] = {}
+
+    # ------------------------------------------------------------------
+    # Towers
+    # ------------------------------------------------------------------
+
+    @property
+    def towers(self) -> List[ENodeB]:
+        return list(self._towers.values())
+
+    def tower(self, tower_id: str) -> ENodeB:
+        try:
+            return self._towers[tower_id]
+        except KeyError:
+            raise KeyError(
+                f"unknown tower {tower_id!r}; available: {sorted(self._towers)}"
+            ) from None
+
+    def nearest_tower(self, point: Point) -> ENodeB:
+        return min(
+            self._towers.values(), key=lambda t: t.position.distance_to(point)
+        )
+
+    def towers_covering(self, center: Point, radius_m: float) -> List[ENodeB]:
+        """Towers whose coverage intersects a task's circular region."""
+        if radius_m < 0:
+            raise ValueError(f"radius must be non-negative, got {radius_m!r}")
+        return [
+            t
+            for t in self._towers.values()
+            if t.position.distance_to(center) <= t.coverage_radius_m + radius_m
+        ]
+
+    # ------------------------------------------------------------------
+    # Devices
+    # ------------------------------------------------------------------
+
+    def attach_device(self, device: object) -> ENodeB:
+        """Register a device with the network; returns its serving tower."""
+        device_id = getattr(device, "device_id")
+        self._devices[device_id] = device
+        tower = self.nearest_tower(device.position())
+        self._attachment[device_id] = tower.tower_id
+        return tower
+
+    def detach_device(self, device_id: str) -> None:
+        self._devices.pop(device_id, None)
+        self._attachment.pop(device_id, None)
+
+    def device(self, device_id: str) -> object:
+        try:
+            return self._devices[device_id]
+        except KeyError:
+            raise KeyError(f"device {device_id!r} is not attached") from None
+
+    def device_ids(self) -> List[str]:
+        return sorted(self._devices)
+
+    def refresh_attachments(self) -> None:
+        """Re-associate every device with its nearest tower (handover)."""
+        for device_id, device in self._devices.items():
+            tower = self.nearest_tower(device.position())
+            self._attachment[device_id] = tower.tower_id
+
+    def serving_tower(self, device_id: str) -> ENodeB:
+        self._require(device_id)
+        return self._towers[self._attachment[device_id]]
+
+    # ------------------------------------------------------------------
+    # Edge visibility used by the Sense-Aid server
+    # ------------------------------------------------------------------
+
+    def device_position(self, device_id: str) -> Point:
+        """The network's view of a device's location."""
+        return self._require(device_id).position()
+
+    def devices_within(self, center: Point, radius_m: float) -> List[str]:
+        """Device ids currently inside a circular region, sorted."""
+        if radius_m < 0:
+            raise ValueError(f"radius must be non-negative, got {radius_m!r}")
+        return sorted(
+            device_id
+            for device_id, device in self._devices.items()
+            if device.position().within(center, radius_m)
+        )
+
+    def radio_state(self, device_id: str):
+        """The RRC state of a device, as visible to its eNodeB."""
+        return self._require(device_id).modem.state
+
+    def seconds_since_last_comm(self, device_id: str) -> Optional[float]:
+        """The TTL selector factor: age of the device's last transfer."""
+        return self._require(device_id).modem.seconds_since_last_comm()
+
+    def _require(self, device_id: str) -> object:
+        if device_id not in self._devices:
+            raise KeyError(f"device {device_id!r} is not attached")
+        return self._devices[device_id]
+
+
+def grid_towers(
+    width_m: float,
+    height_m: float,
+    rows: int = 2,
+    cols: int = 2,
+    coverage_radius_m: float = 1500.0,
+) -> List[ENodeB]:
+    """Lay out a rows×cols grid of towers covering a rectangle."""
+    if rows <= 0 or cols <= 0:
+        raise ValueError("rows and cols must be positive")
+    towers = []
+    for r in range(rows):
+        for c in range(cols):
+            x = width_m * (2 * c + 1) / (2 * cols)
+            y = height_m * (2 * r + 1) / (2 * rows)
+            towers.append(
+                ENodeB(
+                    tower_id=f"enb-{r}{c}",
+                    position=Point(x, y),
+                    coverage_radius_m=coverage_radius_m,
+                )
+            )
+    return towers

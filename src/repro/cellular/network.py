@@ -1,0 +1,167 @@
+"""Message transport between devices and the server side.
+
+The network models two things the experiments need: (1) every transfer
+exercises the sending/receiving device's radio (and therefore its
+energy ledger), and (2) traffic is routed over the paper's two eNodeB→
+core paths — *path 1* straight to the S-GW, or *path 2* through the
+Sense-Aid server when the traffic is crowdsensing-related.  Path
+counters let tests assert the interposition behaviour; a fail-safe
+flag models the paper's "path 1 if the Sense-Aid server crashes".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.cellular.packets import Message, TrafficCategory
+from repro.sim.engine import Simulator
+
+
+@dataclass(frozen=True)
+class DeliveryReceipt:
+    """Outcome of one transfer: when the radio finished, when delivered."""
+
+    message_id: int
+    radio_complete_at: float
+    delivered_at: float
+    path: str
+
+
+class CellularNetwork:
+    """Uplink/downlink transport with core-network latency."""
+
+    PATH_DIRECT = "path1"
+    PATH_SENSE_AID = "path2"
+
+    def __init__(
+        self,
+        sim: Simulator,
+        core_latency_s: float = 0.05,
+        *,
+        loss_probability: float = 0.0,
+    ) -> None:
+        if core_latency_s < 0:
+            raise ValueError(
+                f"core latency must be non-negative, got {core_latency_s!r}"
+            )
+        if not 0.0 <= loss_probability < 1.0:
+            raise ValueError(
+                f"loss_probability must be in [0, 1), got {loss_probability!r}"
+            )
+        self._sim = sim
+        self._latency = core_latency_s
+        #: Probability an uplink message is lost in the core after the
+        #: radio transmitted it (energy spent, delivery never happens) —
+        #: exercises the data-collection failure handling of §8.
+        self.loss_probability = loss_probability
+        self._loss_rng = sim.rng.stream("network:loss")
+        self._sense_aid_up = True
+        self.path1_messages = 0
+        self.path2_messages = 0
+        self.messages_lost = 0
+
+    @property
+    def sense_aid_path_available(self) -> bool:
+        return self._sense_aid_up
+
+    def set_sense_aid_path_available(self, available: bool) -> None:
+        """Simulate a Sense-Aid server crash / recovery (fail-safe path 1)."""
+        self._sense_aid_up = bool(available)
+
+    def route_for(self, message: Message) -> str:
+        """Crowdsensing/control traffic interposes through Sense-Aid."""
+        crowdsensing = message.category in (
+            TrafficCategory.CROWDSENSING,
+            TrafficCategory.CONTROL,
+        )
+        if crowdsensing and self._sense_aid_up:
+            return self.PATH_SENSE_AID
+        return self.PATH_DIRECT
+
+    def uplink(
+        self,
+        device: object,
+        message: Message,
+        on_delivered: Optional[Callable[[Message, DeliveryReceipt], None]] = None,
+        *,
+        resets_tail: Optional[bool] = None,
+    ) -> None:
+        """Send ``message`` from ``device`` to the server side.
+
+        Drives the device's radio (which performs energy attribution)
+        and delivers the message after the core-network latency.
+        """
+        self._count_path(message)
+        path = self.route_for(message)
+        message.created_at = self._sim.now
+
+        def radio_done() -> None:
+            radio_complete = self._sim.now
+            if (
+                self.loss_probability > 0.0
+                and self._loss_rng.random() < self.loss_probability
+            ):
+                self.messages_lost += 1
+                return
+            if on_delivered is None:
+                return
+
+            def deliver() -> None:
+                receipt = DeliveryReceipt(
+                    message_id=message.message_id,
+                    radio_complete_at=radio_complete,
+                    delivered_at=self._sim.now,
+                    path=path,
+                )
+                on_delivered(message, receipt)
+
+            self._sim.schedule(self._latency, deliver)
+
+        device.modem.transmit(
+            message.size_bytes,
+            message.category,
+            uplink=True,
+            resets_tail=resets_tail,
+            on_complete=radio_done,
+        )
+
+    def downlink(
+        self,
+        device: object,
+        message: Message,
+        on_delivered: Optional[Callable[[Message, DeliveryReceipt], None]] = None,
+        *,
+        resets_tail: Optional[bool] = None,
+    ) -> None:
+        """Push ``message`` from the server side down to ``device``."""
+        self._count_path(message)
+        path = self.route_for(message)
+        message.created_at = self._sim.now
+
+        def delivered_to_radio() -> None:
+            if on_delivered is None:
+                return
+            receipt = DeliveryReceipt(
+                message_id=message.message_id,
+                radio_complete_at=self._sim.now,
+                delivered_at=self._sim.now,
+                path=path,
+            )
+            on_delivered(message, receipt)
+
+        def start_radio() -> None:
+            device.modem.receive(
+                message.size_bytes,
+                message.category,
+                resets_tail=resets_tail,
+                on_complete=delivered_to_radio,
+            )
+
+        self._sim.schedule(self._latency, start_radio)
+
+    def _count_path(self, message: Message) -> None:
+        if self.route_for(message) == self.PATH_SENSE_AID:
+            self.path2_messages += 1
+        else:
+            self.path1_messages += 1

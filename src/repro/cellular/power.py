@@ -1,0 +1,228 @@
+"""Radio power profiles.
+
+Per-state power draws and timer lengths for 4G LTE and 3G radios.  The
+LTE numbers follow Huang et al., *A Close Examination of Performance
+and Power Characteristics of 4G LTE Networks* (MobiSys'12), the source
+the paper itself cites for its 1,300 mW connected vs 11 mW idle
+comparison and the ~11 s tail.  The 3G numbers follow the same study's
+UMTS measurements and are used only by the Figure-2 motivation case
+study (3G vs LTE bars).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+
+@dataclass(frozen=True)
+class TailStage:
+    """One phase of a structured tail (e.g. UMTS DCH-tail then FACH)."""
+
+    name: str
+    duration_s: float
+    power_mw: float
+
+    def __post_init__(self) -> None:
+        if self.duration_s <= 0 or self.power_mw <= 0:
+            raise ValueError("tail stage duration and power must be positive")
+
+
+@dataclass(frozen=True)
+class RadioPowerProfile:
+    """Power/time parameters of one radio access technology.
+
+    All powers are milliwatts; all durations seconds.  ``active_mw`` is
+    the draw while user data is actually being transferred;
+    ``tail_mw`` is the average draw across the post-transfer tail
+    (short DRX + long DRX for LTE); ``promotion_mw`` is the draw during
+    the IDLE→CONNECTED control-plane exchange.
+    """
+
+    name: str
+    idle_mw: float
+    promotion_mw: float
+    promotion_s: float
+    active_mw: float
+    tail_mw: float
+    tail_s: float
+    uplink_bps: float
+    downlink_bps: float
+    min_transfer_s: float
+    #: Optional fine structure of the tail (UMTS: a high-power DCH tail
+    #: followed by a low-power FACH phase).  When given, the stages'
+    #: total duration must equal ``tail_s`` and their energy must match
+    #: ``tail_mw × tail_s`` (the flat average), so coarse and fine
+    #: accounting agree.
+    tail_stages: Tuple[TailStage, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        for field_name in (
+            "idle_mw",
+            "promotion_mw",
+            "promotion_s",
+            "active_mw",
+            "tail_mw",
+            "tail_s",
+            "uplink_bps",
+            "downlink_bps",
+            "min_transfer_s",
+        ):
+            value = getattr(self, field_name)
+            if value <= 0:
+                raise ValueError(f"{field_name} must be positive, got {value!r}")
+        if self.idle_mw >= self.tail_mw:
+            raise ValueError("idle power must be below tail power")
+        if self.tail_mw > self.active_mw:
+            raise ValueError("tail power must not exceed active power")
+        if self.tail_stages:
+            total_s = sum(s.duration_s for s in self.tail_stages)
+            if abs(total_s - self.tail_s) > 1e-6:
+                raise ValueError(
+                    f"tail stages sum to {total_s}s but tail_s is {self.tail_s}s"
+                )
+            staged_energy = sum(
+                s.power_mw * s.duration_s for s in self.tail_stages
+            )
+            flat_energy = self.tail_mw * self.tail_s
+            if abs(staged_energy - flat_energy) > 0.01 * flat_energy:
+                raise ValueError(
+                    "tail stages' energy must match the flat tail average"
+                )
+
+    def transfer_time(self, size_bytes: int, *, uplink: bool = True) -> float:
+        """Seconds of ACTIVE state needed to move ``size_bytes``.
+
+        Small transfers are dominated by scheduling-grant latency, so a
+        floor of ``min_transfer_s`` applies.
+        """
+        if size_bytes < 0:
+            raise ValueError(f"size_bytes must be non-negative, got {size_bytes!r}")
+        rate = self.uplink_bps if uplink else self.downlink_bps
+        return max(self.min_transfer_s, size_bytes * 8.0 / rate)
+
+    # -- closed-form energy helpers (Joules), relative to idle baseline --
+
+    def promotion_energy_j(self) -> float:
+        """Marginal energy of one IDLE→CONNECTED promotion."""
+        return (self.promotion_mw - self.idle_mw) / 1000.0 * self.promotion_s
+
+    def tail_energy_j(self, duration_s: float | None = None) -> float:
+        """Marginal energy of ``duration_s`` seconds of tail (default: full tail)."""
+        duration = self.tail_s if duration_s is None else duration_s
+        if duration < 0:
+            raise ValueError(f"duration must be non-negative, got {duration!r}")
+        return (self.tail_mw - self.idle_mw) / 1000.0 * duration
+
+    def tail_energy_between(self, start_s: float, end_s: float) -> float:
+        """Marginal (over idle) tail energy between two offsets from
+        the tail's start, respecting stage structure; offsets are
+        clamped to ``[0, tail_s]``."""
+        start = max(0.0, min(start_s, self.tail_s))
+        end = max(start, min(end_s, self.tail_s))
+        if end <= start:
+            return 0.0
+        if not self.tail_stages:
+            return (self.tail_mw - self.idle_mw) / 1000.0 * (end - start)
+        energy = 0.0
+        offset = 0.0
+        for stage in self.tail_stages:
+            stage_start = offset
+            stage_end = offset + stage.duration_s
+            lo = max(start, stage_start)
+            hi = min(end, stage_end)
+            if hi > lo:
+                energy += (stage.power_mw - self.idle_mw) / 1000.0 * (hi - lo)
+            offset = stage_end
+        return energy
+
+    def tail_power_at(self, offset_s: float) -> float:
+        """Instantaneous tail power ``offset_s`` after the tail began."""
+        if not self.tail_stages:
+            return self.tail_mw
+        offset = max(0.0, min(offset_s, self.tail_s))
+        elapsed = 0.0
+        for stage in self.tail_stages:
+            elapsed += stage.duration_s
+            if offset < elapsed:
+                return stage.power_mw
+        return self.tail_stages[-1].power_mw
+
+    def active_energy_j(self, duration_s: float, *, over_tail: bool = False) -> float:
+        """Marginal energy of ``duration_s`` seconds of data transfer.
+
+        ``over_tail=True`` computes the increment over tail power (the
+        cost of transferring *during* an already-running tail) rather
+        than over idle.
+        """
+        if duration_s < 0:
+            raise ValueError(f"duration must be non-negative, got {duration_s!r}")
+        baseline = self.tail_mw if over_tail else self.idle_mw
+        return (self.active_mw - baseline) / 1000.0 * duration_s
+
+    def cold_upload_energy_j(self, size_bytes: int) -> float:
+        """Marginal energy of one upload starting from IDLE.
+
+        promotion + transfer + one full tail — the cost the Periodic
+        baseline pays for every sample, and the cost PCS pays on a
+        misprediction.
+        """
+        transfer = self.transfer_time(size_bytes)
+        return (
+            self.promotion_energy_j()
+            + self.active_energy_j(transfer)
+            + self.tail_energy_j()
+        )
+
+
+#: 4G LTE profile (Huang et al., MobiSys'12, Table 4 / Fig. 7; the paper
+#: quotes the same study: ~1,300 mW promotion/connected vs 11 mW idle,
+#: tail of about 11 s for the LTE radio stack).
+LTE_POWER_PROFILE = RadioPowerProfile(
+    name="LTE",
+    idle_mw=11.4,
+    promotion_mw=1210.0,
+    promotion_s=0.26,
+    active_mw=1650.0,
+    tail_mw=1060.0,
+    tail_s=11.5,
+    uplink_bps=2_000_000.0,
+    downlink_bps=10_000_000.0,
+    min_transfer_s=0.05,
+)
+
+#: 3G (UMTS) profile from the same study: slower, lower-power radio
+#: whose tail has real structure — a high-power DCH inactivity phase,
+#: then a low-power FACH phase before IDLE.  ``tail_mw``/``tail_s`` are
+#: the flat average of the two stages.
+THREEG_POWER_PROFILE = RadioPowerProfile(
+    name="3G",
+    idle_mw=10.0,
+    promotion_mw=659.0,
+    promotion_s=2.0,
+    active_mw=800.0,
+    tail_mw=558.0,
+    tail_s=8.0,
+    uplink_bps=500_000.0,
+    downlink_bps=2_000_000.0,
+    min_transfer_s=0.1,
+    tail_stages=(
+        TailStage("DCH_tail", duration_s=3.0, power_mw=800.0),
+        TailStage("FACH", duration_s=5.0, power_mw=412.8),
+    ),
+)
+
+PROFILES = {
+    "LTE": LTE_POWER_PROFILE,
+    "3G": THREEG_POWER_PROFILE,
+}
+
+
+def profile_by_name(name: str) -> RadioPowerProfile:
+    """Look up a built-in power profile (``"LTE"`` or ``"3G"``)."""
+    try:
+        return PROFILES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown radio profile {name!r}; available: {sorted(PROFILES)}"
+        ) from None

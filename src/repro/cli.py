@@ -1,0 +1,200 @@
+"""Command-line interface: run any paper experiment from the shell.
+
+Usage::
+
+    python -m repro list
+    python -m repro run fig7           # one figure
+    python -m repro run exp1           # a whole experiment (figs 7-9)
+    python -m repro run all            # everything, Table 2 last
+    python -m repro run table2 --seed 11
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional
+
+from repro.experiments import (
+    diurnal,
+    robustness,
+    exp1_radius,
+    exp2_period,
+    exp3_tasks,
+    pcs_accuracy,
+    power_case_study,
+    summary,
+    survey,
+    tailtime,
+    weight_sweep,
+)
+from repro.experiments.common import ScenarioConfig
+
+#: Experiment name -> (description, needs_scenario, runner).
+_SCENARIO_EXPERIMENTS: Dict[str, tuple] = {
+    "exp1": ("Experiment 1 / Figs 7-9 (area radius)", exp1_radius.main),
+    "exp2": ("Experiment 2 / Figs 10-11 (sampling period)", exp2_period.main),
+    "exp3": ("Experiment 3 / Figs 12-13 (concurrent tasks)", exp3_tasks.main),
+    "fig14": ("Fig 14 (PCS prediction accuracy)", pcs_accuracy.main),
+    "table2": ("Table 2 (energy-savings summary)", summary.main),
+    "weights": (
+        "Extension: selector-weight sensitivity (fairness vs energy)",
+        weight_sweep.main,
+    ),
+}
+
+_PLAIN_EXPERIMENTS: Dict[str, tuple] = {
+    "fig1": ("Fig 1 (energy-tolerance survey)", survey.main),
+    "fig2": ("Fig 2 (app power case study)", power_case_study.main),
+    "fig6": ("Fig 6 (radio tail trace)", tailtime.main),
+}
+
+#: Extension experiments take a bare seed rather than a scenario.
+_SEED_EXPERIMENTS: Dict[str, tuple] = {
+    "diurnal": ("Extension: savings across a 24 h usage cycle", diurnal.main),
+    "robustness": (
+        "Extension: savings distribution across seeded worlds",
+        robustness.main,
+    ),
+}
+
+ALIASES = {
+    "fig7": "exp1",
+    "fig8": "exp1",
+    "fig9": "exp1",
+    "fig10": "exp2",
+    "fig11": "exp2",
+    "fig12": "exp3",
+    "fig13": "exp3",
+}
+
+RUN_ORDER = [
+    "fig1", "fig2", "fig6", "exp1", "exp2", "exp3", "fig14", "table2",
+    "diurnal", "robustness", "weights",
+]
+
+
+def available_experiments() -> List[str]:
+    return RUN_ORDER + sorted(ALIASES)
+
+
+def _resolve(name: str) -> str:
+    name = name.lower()
+    name = ALIASES.get(name, name)
+    if (
+        name not in _SCENARIO_EXPERIMENTS
+        and name not in _PLAIN_EXPERIMENTS
+        and name not in _SEED_EXPERIMENTS
+    ):
+        raise KeyError(name)
+    return name
+
+
+def run_experiment(name: str, seed: int = 7) -> str:
+    """Run one experiment by name; returns its printed output."""
+    resolved = _resolve(name)
+    if resolved in _PLAIN_EXPERIMENTS:
+        _, runner = _PLAIN_EXPERIMENTS[resolved]
+        return runner()
+    if resolved in _SEED_EXPERIMENTS:
+        _, runner = _SEED_EXPERIMENTS[resolved]
+        return runner(seed)
+    _, runner = _SCENARIO_EXPERIMENTS[resolved]
+    return runner(ScenarioConfig(seed=seed))
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    print("available experiments:")
+    for name in RUN_ORDER:
+        description = (
+            _PLAIN_EXPERIMENTS.get(name)
+            or _SCENARIO_EXPERIMENTS.get(name)
+            or _SEED_EXPERIMENTS.get(name)
+        )[0]
+        print(f"  {name:8s} {description}")
+    print("aliases:")
+    for alias in sorted(ALIASES):
+        print(f"  {alias:8s} -> {ALIASES[alias]}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    targets = RUN_ORDER if args.experiment == "all" else [args.experiment]
+    for i, target in enumerate(targets):
+        if i:
+            print("\n" + "=" * 72 + "\n")
+        try:
+            run_experiment(target, seed=args.seed)
+        except KeyError:
+            print(
+                f"unknown experiment {target!r}; "
+                f"choose from: all, {', '.join(available_experiments())}",
+                file=sys.stderr,
+            )
+            return 2
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.analysis.report import write_report
+
+    try:
+        write_report(
+            args.output, seed=args.seed, experiments=args.experiments
+        )
+    except KeyError as exc:
+        print(
+            f"unknown experiment {exc.args[0]!r}; "
+            f"choose from: {', '.join(available_experiments())}",
+            file=sys.stderr,
+        )
+        return 2
+    print(f"report written to {args.output}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Sense-Aid reproduction: regenerate the paper's tables and figures",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    list_parser = subparsers.add_parser("list", help="list available experiments")
+    list_parser.set_defaults(func=_cmd_list)
+    run_parser = subparsers.add_parser("run", help="run an experiment (or 'all')")
+    run_parser.add_argument("experiment", help="experiment id (see 'list') or 'all'")
+    run_parser.add_argument(
+        "--seed", type=int, default=7, help="scenario master seed (default 7)"
+    )
+    run_parser.set_defaults(func=_cmd_run)
+    report_parser = subparsers.add_parser(
+        "report", help="run experiments and save a combined report"
+    )
+    report_parser.add_argument(
+        "--output", default="reproduction_report.txt", help="report file path"
+    )
+    report_parser.add_argument(
+        "--seed", type=int, default=7, help="scenario master seed (default 7)"
+    )
+    report_parser.add_argument(
+        "--experiments",
+        nargs="*",
+        default=None,
+        help="experiment ids to include (default: all)",
+    )
+    report_parser.set_defaults(func=_cmd_report)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early — not an error.
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

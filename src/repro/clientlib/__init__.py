@@ -1,0 +1,13 @@
+"""Client-side Sense-Aid library (runs on the device).
+
+Exposes the paper's five-call API — ``register()``, ``deregister()``,
+``update_preferences()``, ``start_sensing()``, ``send_sense_data()`` —
+and implements the tail-time machinery underneath: pending assignments
+are held until the radio enters its tail (or is already connected), at
+which point sensing and upload happen nearly for free; a
+deadline-grace timer force-uploads if no tail arrives in time.
+"""
+
+from repro.clientlib.client import PendingAssignment, SenseAidClient
+
+__all__ = ["PendingAssignment", "SenseAidClient"]

@@ -1,0 +1,252 @@
+"""The Sense-Aid client-side library.
+
+Strategy for an incoming assignment:
+
+- radio already CONNECTED (active or in its tail) → sense and upload
+  immediately; the upload is nearly free (and under Sense-Aid Complete
+  it does not even extend the tail);
+- radio IDLE → hold the assignment and watch radio state; the next
+  tail the user's own traffic opens is the upload opportunity;
+- deadline approaching with no tail → force the upload anyway (paying
+  a promotion) so data quality never suffers — the paper's
+  "prerequisite of not harming crowdsensing data".
+
+State reports (battery level, cumulative crowdsensing energy) ride the
+control plane at each tail entry, mirroring the paper's service thread
+that "sends these control messages to the proxy server only when the
+radio tail time is found" — and, like the paper, their energy is
+excluded from the crowdsensing account.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.cellular.network import CellularNetwork
+from repro.cellular.packets import sensor_data_message
+from repro.cellular.rrc import RRCState
+from repro.core.server import Assignment, SenseAidServer
+from repro.devices.device import SimDevice
+from repro.devices.sensors import SensorReading
+from repro.sim.engine import Simulator
+from repro.sim.events import Event
+
+
+@dataclass
+class PendingAssignment:
+    """An assignment waiting for an upload opportunity."""
+
+    assignment: Assignment
+    force_timer: Optional[Event] = None
+    completed: bool = False
+
+
+@dataclass
+class ClientStats:
+    """Where this client's uploads happened (for diagnostics/tests)."""
+
+    assignments_received: int = 0
+    uploads_in_tail: int = 0
+    uploads_piggybacked: int = 0
+    uploads_forced: int = 0
+    state_reports: int = 0
+
+    @property
+    def uploads_total(self) -> int:
+        return self.uploads_in_tail + self.uploads_piggybacked + self.uploads_forced
+
+
+class SenseAidClient:
+    """Per-device middleware endpoint."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        device: SimDevice,
+        server: SenseAidServer,
+        network: CellularNetwork,
+    ) -> None:
+        self._sim = sim
+        self._device = device
+        self._server = server
+        self._network = network
+        self._pending: Dict[str, PendingAssignment] = {}
+        self._registered = False
+        self.stats = ClientStats()
+        device.modem.add_state_listener(self._on_radio_state)
+
+    @property
+    def device(self) -> SimDevice:
+        return self._device
+
+    @property
+    def server(self) -> SenseAidServer:
+        return self._server
+
+    @property
+    def registered(self) -> bool:
+        return self._registered
+
+    @property
+    def pending_count(self) -> int:
+        return len(self._pending)
+
+    # ------------------------------------------------------------------
+    # The paper's five-call client API
+    # ------------------------------------------------------------------
+
+    def register(self) -> None:
+        """Sign up for crowdsensing campaigns."""
+        if self._registered:
+            raise RuntimeError(f"{self._device.device_id} is already registered")
+        self._server.register_device(self._device, self._on_assignment)
+        self._registered = True
+
+    def deregister(self) -> None:
+        if not self._registered:
+            raise RuntimeError(f"{self._device.device_id} is not registered")
+        for pending in self._pending.values():
+            self._cancel_force_timer(pending)
+        self._pending.clear()
+        self._server.deregister_device(self._device.device_id)
+        self._registered = False
+
+    def bind_server(self, server: SenseAidServer) -> None:
+        """Point this client at a (different) edge instance.
+
+        Only allowed while unregistered; a registered client moves via
+        :meth:`migrate`.
+        """
+        if self._registered:
+            raise RuntimeError("deregister (or migrate) before re-binding")
+        self._server = server
+
+    def migrate(self, server: SenseAidServer) -> None:
+        """Hand this client over to another edge instance.
+
+        Used by the federated deployment when the user walks into a
+        different instance's region: pending assignments at the old
+        instance are abandoned (its scheduler will see the device as
+        unqualified there anyway) and the client re-registers at the
+        new one.
+        """
+        if self._registered:
+            self.deregister()
+        self._server = server
+        self.register()
+
+    def update_preferences(
+        self,
+        *,
+        energy_budget_j: Optional[float] = None,
+        critical_battery_pct: Optional[float] = None,
+    ) -> None:
+        """Change the user's participation preferences, locally and
+        at the server."""
+        if energy_budget_j is not None:
+            self._device.preferences.energy_budget_j = energy_budget_j
+        if critical_battery_pct is not None:
+            self._device.preferences.critical_battery_pct = critical_battery_pct
+        if self._registered:
+            self._server.update_preferences(
+                self._device.device_id,
+                energy_budget_j=energy_budget_j,
+                critical_battery_pct=critical_battery_pct,
+            )
+
+    def start_sensing(self, assignment: Assignment) -> SensorReading:
+        """Sample the sensor an assignment asks for."""
+        return self._device.sample(assignment.sensor_type)
+
+    def send_sense_data(
+        self, assignment: Assignment, reading: SensorReading
+    ) -> None:
+        """Upload one reading for an assignment over the data path."""
+        message = sensor_data_message(
+            self._device.device_id,
+            {
+                "device_id": self._device.device_id,
+                "request_id": assignment.request.request_id,
+                "value": reading.value,
+                "sensed_at": reading.time,
+            },
+        )
+        self._network.uplink(
+            self._device,
+            message,
+            on_delivered=self._server.receive_sensed_data,
+            resets_tail=self._server.crowdsensing_resets_tail(),
+        )
+        # Stamp the state fields after the radio has accepted (and
+        # charged) the transfer, so the server's record reflects this
+        # very upload's cost — not the counter from before it.
+        message.payload["battery_pct"] = self._device.battery.level_pct
+        message.payload["energy_used_j"] = self._device.crowdsensing_energy_j()
+
+    # ------------------------------------------------------------------
+    # Assignment handling
+    # ------------------------------------------------------------------
+
+    def _on_assignment(self, assignment: Assignment) -> None:
+        self.stats.assignments_received += 1
+        pending = PendingAssignment(assignment=assignment)
+        self._pending[assignment.request.request_id] = pending
+        if self._device.modem.state in (RRCState.ACTIVE, RRCState.PROMOTING):
+            self._complete(pending, "piggyback")
+            return
+        if self._device.modem.in_tail:
+            self._complete(pending, "tail")
+            return
+        grace = self._server.config.deadline_grace_s
+        fire_at = max(self._sim.now, assignment.deadline - grace)
+        pending.force_timer = self._sim.schedule_at(
+            fire_at, self._force_upload, assignment.request.request_id
+        )
+
+    def _on_radio_state(self, old: RRCState, new: RRCState) -> None:
+        if new is not RRCState.TAIL:
+            return
+        self._flush_pending_in_tail()
+        if self._registered:
+            self._send_state_report()
+
+    def _flush_pending_in_tail(self) -> None:
+        for request_id in list(self._pending):
+            pending = self._pending.get(request_id)
+            if pending is None or pending.completed:
+                continue
+            self._complete(pending, "tail")
+
+    def _force_upload(self, request_id: str) -> None:
+        pending = self._pending.get(request_id)
+        if pending is None or pending.completed:
+            return
+        self._complete(pending, "forced")
+
+    def _complete(self, pending: PendingAssignment, how: str) -> None:
+        pending.completed = True
+        self._cancel_force_timer(pending)
+        self._pending.pop(pending.assignment.request.request_id, None)
+        reading = self.start_sensing(pending.assignment)
+        self.send_sense_data(pending.assignment, reading)
+        if how == "tail":
+            self.stats.uploads_in_tail += 1
+        elif how == "piggyback":
+            self.stats.uploads_piggybacked += 1
+        else:
+            self.stats.uploads_forced += 1
+
+    def _cancel_force_timer(self, pending: PendingAssignment) -> None:
+        if pending.force_timer is not None:
+            self._sim.cancel(pending.force_timer)
+            pending.force_timer = None
+
+    def _send_state_report(self) -> None:
+        """Control-plane battery/energy report (energy excluded per paper)."""
+        self.stats.state_reports += 1
+        self._server.report_device_state(
+            self._device.device_id,
+            self._device.battery.level_pct,
+            self._device.crowdsensing_energy_j(),
+        )

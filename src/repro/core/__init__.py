@@ -1,0 +1,37 @@
+"""The Sense-Aid middleware server — the paper's primary contribution.
+
+The server runs logically at the cellular edge (between the eNodeBs
+and the core network).  It keeps a device datastore fed by the edge's
+existing visibility (location at tower granularity, RRC state) plus
+lightweight device reports (battery level, hashed IMEI, energy
+budget); accepts crowdsensing tasks from application servers; expands
+them into per-sample requests on a deadline-sorted run queue (with a
+wait queue for currently unsatisfiable requests); and, per request,
+runs the four-factor fairness-aware device selector to pick the
+minimum set of devices meeting the task's spatial density.
+"""
+
+from repro.core.config import SelectorWeights, SenseAidConfig, ServerMode
+from repro.core.datastores import DeviceDatastore, DeviceRecord, TaskDatastore
+from repro.core.federation import EdgeRegionSpec, FederatedSenseAid
+from repro.core.queues import RequestQueue
+from repro.core.selector import DeviceSelector, ScoredDevice
+from repro.core.server import SenseAidServer
+from repro.core.tasks import SensingRequest, TaskSpec
+
+__all__ = [
+    "DeviceDatastore",
+    "DeviceRecord",
+    "DeviceSelector",
+    "EdgeRegionSpec",
+    "FederatedSenseAid",
+    "RequestQueue",
+    "ScoredDevice",
+    "SelectorWeights",
+    "SenseAidConfig",
+    "SenseAidServer",
+    "SensingRequest",
+    "ServerMode",
+    "TaskDatastore",
+    "TaskSpec",
+]

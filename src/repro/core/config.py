@@ -1,0 +1,157 @@
+"""Configuration of the Sense-Aid server.
+
+The selector weights are the paper's α, β, γ, φ coefficients; the
+defaults make the *times-selected* term dominate so that selection
+rotates fairly through qualified devices (the behaviour Fig. 9 shows),
+with the TTL term breaking ties in favour of devices whose radio
+communicated recently (and is therefore likely still in its tail).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Optional
+
+from repro.cellular.rrc import TailPolicy
+
+
+class ControlPlane(Enum):
+    """How task assignments reach devices.
+
+    ``PULL`` — the paper's design: the client's service thread contacts
+    the server during radio tails, so assignment delivery rides
+    existing connectivity and (per the paper's accounting) costs no
+    measurable device energy.  ``PUSH_PAGED`` — the naive alternative:
+    the server pages the device over the downlink, waking an idle radio
+    and paying promotion + tail per assignment; exists to quantify why
+    the pull design matters.
+    """
+
+    PULL = "pull"
+    PUSH_PAGED = "push_paged"
+
+
+class ServerMode(Enum):
+    """The paper's two implementation variants.
+
+    ``BASIC`` — crowdsensing uploads reset the tail timer (stock RRC;
+    no carrier cooperation needed).  ``COMPLETE`` — uploads during the
+    tail do not reset it, so the radio idles exactly when it would have
+    anyway.
+    """
+
+    BASIC = "basic"
+    COMPLETE = "complete"
+
+    @property
+    def tail_policy(self) -> TailPolicy:
+        if self is ServerMode.BASIC:
+            return TailPolicy.RESET
+        return TailPolicy.NO_RESET
+
+
+@dataclass(frozen=True)
+class SelectorWeights:
+    """Coefficients of ``Score(i) = α·E + β·U + γ·(100−CBL) + φ·TTL``.
+
+    Lower score wins.  ``ttl_cap_s`` bounds the TTL term so a
+    long-quiet device cannot out-score the fairness term.
+    """
+
+    alpha: float = 0.01    # per Joule of crowdsensing energy used
+    beta: float = 1.0      # per previous selection
+    gamma: float = 0.005   # per percentage point of battery depleted
+    phi: float = 0.0015    # per second since last radio communication
+    ttl_cap_s: float = 300.0
+    #: Optional data-reliability factor (paper §7: truth-discovery
+    #: "can be incorporated as another factor in our device selector").
+    #: Penalty per unit of unreliability (1 − reliability); 0 disables.
+    rho: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in ("alpha", "beta", "gamma", "phi", "rho"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+        if self.ttl_cap_s < 0:
+            raise ValueError("ttl_cap_s must be non-negative")
+
+
+@dataclass(frozen=True)
+class SenseAidConfig:
+    """Tunable parameters of one server instance."""
+
+    mode: ServerMode = ServerMode.COMPLETE
+    weights: SelectorWeights = field(default_factory=SelectorWeights)
+    #: Hard cutoff: never pick a device more than this many times per
+    #: accounting epoch (None = unlimited).
+    max_selections_per_epoch: Optional[int] = None
+    #: Period of the wait-queue satisfiability re-check (Algorithm 1's
+    #: ``wait_check_thread``).
+    wait_check_period_s: float = 30.0
+    #: Seconds before a request deadline at which a selected device
+    #: gives up waiting for a tail and force-uploads.
+    deadline_grace_s: float = 5.0
+    #: Default deadline for requests of tasks with no sampling period
+    #: (one-shot tasks).
+    one_shot_deadline_s: float = 120.0
+    #: When True the server selects *every* qualified device (the
+    #: paper's no-orchestration ablation); spatial density still gates
+    #: satisfiability.
+    select_all_qualified: bool = False
+    #: Accounting-epoch length ("counted since the beginning of some
+    #: reasonable time interval, say the week"): selection counts and
+    #: spent-energy counters reset every this-many seconds.  None keeps
+    #: one epoch for the whole run (the user-study setting).
+    epoch_reset_period_s: Optional[float] = None
+    #: Devices whose data-reliability estimate falls to or below this
+    #: are never selected (hard cutoff companion to ``weights.rho``).
+    min_reliability: float = 0.0
+    #: Assignment delivery mechanism (see :class:`ControlPlane`).
+    control_plane: ControlPlane = ControlPlane.PULL
+    #: When set, the server re-checks each request this many seconds
+    #: before its deadline and assigns substitute devices for any
+    #: readings that have not arrived (lost uploads, vanished devices —
+    #: the §8 data-collection-failure handling).  None disables.
+    reassign_margin_s: Optional[float] = None
+    #: After this many consecutive missed deliveries a device is marked
+    #: unresponsive and excluded from selection ("if a mobile device
+    #: becomes unresponsive, then the Sense-Aid server can exclude it
+    #: from future selections", §3.2).  A successful upload clears the
+    #: strikes and restores the device.  None disables striking.
+    unresponsive_strikes: Optional[int] = 3
+    #: Deployment model (paper §6).  True: the cellular provider runs
+    #: Sense-Aid and the eNodeBs' live RRC view (last-communication
+    #: age) feeds the selector's TTL factor.  False: a third-party
+    #: provider without carrier integration — it only learns about a
+    #: device's radio from the device's own uploads and control pings,
+    #: so the TTL factor goes stale between contacts.
+    carrier_integrated: bool = True
+
+    def __post_init__(self) -> None:
+        if self.wait_check_period_s <= 0:
+            raise ValueError("wait_check_period_s must be positive")
+        if self.deadline_grace_s < 0:
+            raise ValueError("deadline_grace_s must be non-negative")
+        if self.one_shot_deadline_s <= 0:
+            raise ValueError("one_shot_deadline_s must be positive")
+        if (
+            self.max_selections_per_epoch is not None
+            and self.max_selections_per_epoch <= 0
+        ):
+            raise ValueError("max_selections_per_epoch must be positive or None")
+        if self.epoch_reset_period_s is not None and self.epoch_reset_period_s <= 0:
+            raise ValueError("epoch_reset_period_s must be positive or None")
+        if self.reassign_margin_s is not None:
+            if self.reassign_margin_s <= 0:
+                raise ValueError("reassign_margin_s must be positive or None")
+            if self.reassign_margin_s >= self.deadline_grace_s:
+                raise ValueError(
+                    "reassign_margin_s must be smaller than deadline_grace_s: "
+                    "the original device's forced upload must have had its "
+                    "chance before the server drafts substitutes"
+                )
+        if not 0.0 <= self.min_reliability < 1.0:
+            raise ValueError("min_reliability must be in [0, 1)")
+        if self.unresponsive_strikes is not None and self.unresponsive_strikes <= 0:
+            raise ValueError("unresponsive_strikes must be positive or None")

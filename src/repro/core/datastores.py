@@ -1,0 +1,191 @@
+"""The Sense-Aid server's two datastores.
+
+The **device datastore** holds, per registered device, exactly the
+fields the paper enumerates: the hash of the IMEI, the remaining energy
+budget, the current battery level, the number of times the device has
+been selected, and the timestamp of its most recent radio
+communication.  Counters can be reset per accounting *epoch* ("counted
+since the beginning of some reasonable time interval, say the week").
+
+The **task datastore** holds every task received from crowdsensing
+application servers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.tasks import TaskSpec
+
+
+@dataclass
+class DeviceRecord:
+    """Server-side state for one registered device."""
+
+    device_id: str
+    imei_hash: str
+    device_model: str
+    energy_budget_j: float
+    critical_battery_pct: float
+    battery_pct: float = 100.0
+    energy_used_j: float = 0.0
+    times_selected: int = 0
+    last_comm_time: Optional[float] = None
+    registered_at: float = 0.0
+    responsive: bool = True
+    invalid_data_count: int = 0
+    sensors: frozenset = field(default_factory=frozenset)
+    #: Exponentially weighted data-reliability estimate in [0, 1]:
+    #: valid uploads pull it toward 1, invalid ones toward 0.
+    reliability: float = 1.0
+    #: Consecutive assignments the device failed to deliver.
+    missed_deliveries: int = 0
+
+    #: EWMA smoothing for reliability updates.
+    RELIABILITY_ALPHA = 0.25
+
+    def remaining_budget_j(self) -> float:
+        return max(0.0, self.energy_budget_j - self.energy_used_j)
+
+    def over_budget(self) -> bool:
+        return self.energy_used_j >= self.energy_budget_j
+
+    def below_critical_battery(self) -> bool:
+        return self.battery_pct <= self.critical_battery_pct
+
+    def ttl_s(self, now: float) -> Optional[float]:
+        """Age of the most recent radio communication, if any."""
+        if self.last_comm_time is None:
+            return None
+        return max(0.0, now - self.last_comm_time)
+
+    def reset_epoch(self) -> None:
+        """Start a new accounting epoch (e.g. a new week)."""
+        self.energy_used_j = 0.0
+        self.times_selected = 0
+
+    def observe_data_quality(self, valid: bool) -> None:
+        """Fold one upload's validity into the reliability estimate."""
+        target = 1.0 if valid else 0.0
+        alpha = self.RELIABILITY_ALPHA
+        self.reliability = (1.0 - alpha) * self.reliability + alpha * target
+
+
+class DeviceDatastore:
+    """Registration, state updates, and lookups for devices."""
+
+    def __init__(self) -> None:
+        self._records: Dict[str, DeviceRecord] = {}
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __contains__(self, device_id: str) -> bool:
+        return device_id in self._records
+
+    def register(self, record: DeviceRecord) -> None:
+        if record.device_id in self._records:
+            raise ValueError(f"device {record.device_id!r} already registered")
+        self._records[record.device_id] = record
+
+    def deregister(self, device_id: str) -> None:
+        if device_id not in self._records:
+            raise KeyError(f"device {device_id!r} is not registered")
+        del self._records[device_id]
+
+    def record(self, device_id: str) -> DeviceRecord:
+        try:
+            return self._records[device_id]
+        except KeyError:
+            raise KeyError(f"device {device_id!r} is not registered") from None
+
+    def records(self) -> List[DeviceRecord]:
+        """All records, sorted by device id for determinism."""
+        return [self._records[k] for k in sorted(self._records)]
+
+    def device_ids(self) -> List[str]:
+        return sorted(self._records)
+
+    def update_state(
+        self,
+        device_id: str,
+        *,
+        battery_pct: Optional[float] = None,
+        energy_used_j: Optional[float] = None,
+        last_comm_time: Optional[float] = None,
+    ) -> None:
+        """Fold a device state report / edge observation into the record."""
+        record = self.record(device_id)
+        if battery_pct is not None:
+            if not 0.0 <= battery_pct <= 100.0:
+                raise ValueError(f"battery_pct must be in [0, 100], got {battery_pct!r}")
+            record.battery_pct = battery_pct
+        if energy_used_j is not None:
+            if energy_used_j < 0:
+                raise ValueError("energy_used_j must be non-negative")
+            record.energy_used_j = energy_used_j
+        if last_comm_time is not None:
+            record.last_comm_time = last_comm_time
+
+    def mark_selected(self, device_id: str) -> None:
+        self.record(device_id).times_selected += 1
+
+    def mark_unresponsive(self, device_id: str) -> None:
+        """Exclude a device from future selections (paper §3.2)."""
+        self.record(device_id).responsive = False
+
+    def mark_responsive(self, device_id: str) -> None:
+        self.record(device_id).responsive = True
+
+    def note_invalid_data(self, device_id: str) -> None:
+        record = self.record(device_id)
+        record.invalid_data_count += 1
+        record.observe_data_quality(False)
+
+    def note_valid_data(self, device_id: str) -> None:
+        self.record(device_id).observe_data_quality(True)
+
+    def reset_epoch(self) -> None:
+        for record in self._records.values():
+            record.reset_epoch()
+
+
+class TaskDatastore:
+    """All tasks submitted by crowdsensing application servers."""
+
+    def __init__(self) -> None:
+        self._tasks: Dict[int, TaskSpec] = {}
+
+    def __len__(self) -> int:
+        return len(self._tasks)
+
+    def __contains__(self, task_id: int) -> bool:
+        return task_id in self._tasks
+
+    def add(self, task: TaskSpec) -> None:
+        if task.task_id in self._tasks:
+            raise ValueError(f"task {task.task_id} already exists")
+        self._tasks[task.task_id] = task
+
+    def replace(self, task: TaskSpec) -> None:
+        if task.task_id not in self._tasks:
+            raise KeyError(f"task {task.task_id} does not exist")
+        self._tasks[task.task_id] = task
+
+    def remove(self, task_id: int) -> TaskSpec:
+        if task_id not in self._tasks:
+            raise KeyError(f"task {task_id} does not exist")
+        return self._tasks.pop(task_id)
+
+    def get(self, task_id: int) -> TaskSpec:
+        try:
+            return self._tasks[task_id]
+        except KeyError:
+            raise KeyError(f"task {task_id} does not exist") from None
+
+    def all_tasks(self) -> List[TaskSpec]:
+        return [self._tasks[k] for k in sorted(self._tasks)]
+
+    def tasks_from(self, origin: str) -> List[TaskSpec]:
+        return [t for t in self.all_tasks() if t.origin == origin]

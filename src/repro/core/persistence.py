@@ -1,0 +1,192 @@
+"""Checkpoint / restore of Sense-Aid server state.
+
+The crash-recovery story (and the paper's assumption that a carrier
+deployment keeps its datastores on durable storage) needs the server's
+two datastores to be serialisable: this module round-trips device
+records and task specs through plain JSON-compatible dicts, and can
+rebuild a *fresh* server process from a checkpoint — device records
+intact, and each task's unexpired remainder re-submitted.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Callable, Dict, Optional
+
+from repro.core.datastores import DeviceRecord
+from repro.core.server import SenseAidServer, SensedDataPoint
+from repro.core.tasks import TaskSpec
+from repro.devices.sensors import SensorType
+from repro.environment.geometry import Point
+
+FORMAT_VERSION = 1
+
+
+# ----------------------------------------------------------------------
+# Record / spec codecs
+# ----------------------------------------------------------------------
+
+
+def record_to_dict(record: DeviceRecord) -> dict:
+    return {
+        "device_id": record.device_id,
+        "imei_hash": record.imei_hash,
+        "device_model": record.device_model,
+        "energy_budget_j": record.energy_budget_j,
+        "critical_battery_pct": record.critical_battery_pct,
+        "battery_pct": record.battery_pct,
+        "energy_used_j": record.energy_used_j,
+        "times_selected": record.times_selected,
+        "last_comm_time": record.last_comm_time,
+        "registered_at": record.registered_at,
+        "responsive": record.responsive,
+        "invalid_data_count": record.invalid_data_count,
+        "sensors": sorted(s.name for s in record.sensors),
+        "reliability": record.reliability,
+        "missed_deliveries": record.missed_deliveries,
+    }
+
+
+def record_from_dict(data: dict) -> DeviceRecord:
+    return DeviceRecord(
+        device_id=data["device_id"],
+        imei_hash=data["imei_hash"],
+        device_model=data["device_model"],
+        energy_budget_j=data["energy_budget_j"],
+        critical_battery_pct=data["critical_battery_pct"],
+        battery_pct=data["battery_pct"],
+        energy_used_j=data["energy_used_j"],
+        times_selected=data["times_selected"],
+        last_comm_time=data["last_comm_time"],
+        registered_at=data["registered_at"],
+        responsive=data["responsive"],
+        invalid_data_count=data["invalid_data_count"],
+        sensors=frozenset(SensorType[name] for name in data["sensors"]),
+        reliability=data.get("reliability", 1.0),
+        missed_deliveries=data.get("missed_deliveries", 0),
+    )
+
+
+def task_to_dict(task: TaskSpec) -> dict:
+    return {
+        "task_id": task.task_id,
+        "sensor_type": task.sensor_type.name,
+        "center": [task.center.x, task.center.y],
+        "area_radius_m": task.area_radius_m,
+        "spatial_density": task.spatial_density,
+        "sampling_period_s": task.sampling_period_s,
+        "sampling_duration_s": task.sampling_duration_s,
+        "start_time": task.start_time,
+        "end_time": task.end_time,
+        "device_type": task.device_type,
+        "origin": task.origin,
+    }
+
+
+def task_from_dict(data: dict) -> TaskSpec:
+    return TaskSpec(
+        task_id=data["task_id"],
+        sensor_type=SensorType[data["sensor_type"]],
+        center=Point(data["center"][0], data["center"][1]),
+        area_radius_m=data["area_radius_m"],
+        spatial_density=data["spatial_density"],
+        sampling_period_s=data["sampling_period_s"],
+        sampling_duration_s=data["sampling_duration_s"],
+        start_time=data["start_time"],
+        end_time=data["end_time"],
+        device_type=data["device_type"],
+        origin=data["origin"],
+    )
+
+
+# ----------------------------------------------------------------------
+# Server checkpointing
+# ----------------------------------------------------------------------
+
+
+def checkpoint_server(server: SenseAidServer) -> dict:
+    """Snapshot the server's durable state as a JSON-compatible dict.
+
+    Tasks are stored with an absolute end time so a restore at a later
+    point can re-submit exactly the unexpired remainder.
+    """
+    now = server._sim.now
+    tasks = []
+    for task in server.tasks.all_tasks():
+        entry = task_to_dict(task)
+        duration = task.duration_s()
+        entry["absolute_end"] = (
+            task.end_time
+            if task.end_time is not None
+            else (now + duration if duration is not None else now)
+        )
+        tasks.append(entry)
+    return {
+        "version": FORMAT_VERSION,
+        "taken_at": now,
+        "devices": [record_to_dict(r) for r in server.devices.records()],
+        "tasks": tasks,
+    }
+
+
+def save_checkpoint(server: SenseAidServer, path: str) -> None:
+    with open(path, "w", encoding="utf-8") as f:
+        json.dump(checkpoint_server(server), f, indent=2)
+
+
+def load_checkpoint(path: str) -> dict:
+    with open(path, "r", encoding="utf-8") as f:
+        snapshot = json.load(f)
+    if snapshot.get("version") != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported checkpoint version {snapshot.get('version')!r}"
+        )
+    return snapshot
+
+
+def restore_server(
+    server: SenseAidServer,
+    snapshot: dict,
+    data_callbacks: Optional[
+        Dict[str, Callable[[SensedDataPoint], None]]
+    ] = None,
+) -> int:
+    """Rebuild a fresh server's durable state from a checkpoint.
+
+    Device records are restored verbatim (clients must still register
+    their live assignment handlers before devices can be scheduled).
+    Each periodic task whose window extends past the restore time is
+    re-submitted for its remainder, delivering to the callback mapped
+    from the task's origin in ``data_callbacks``.  Returns the number
+    of tasks resumed.
+    """
+    if snapshot.get("version") != FORMAT_VERSION:
+        raise ValueError(f"unsupported checkpoint version {snapshot.get('version')!r}")
+    for data in snapshot["devices"]:
+        record = record_from_dict(data)
+        if record.device_id not in server.devices:
+            server.devices.register(record)
+    resumed = 0
+    now = server._sim.now
+    callbacks = data_callbacks or {}
+    for entry in snapshot["tasks"]:
+        end = entry["absolute_end"]
+        if entry["sampling_period_s"] is None or end <= now:
+            continue
+        callback = callbacks.get(entry["origin"])
+        if callback is None:
+            continue
+        remainder = TaskSpec(
+            sensor_type=SensorType[entry["sensor_type"]],
+            center=Point(entry["center"][0], entry["center"][1]),
+            area_radius_m=entry["area_radius_m"],
+            spatial_density=entry["spatial_density"],
+            sampling_period_s=entry["sampling_period_s"],
+            start_time=now,
+            end_time=end,
+            device_type=entry["device_type"],
+            origin=entry["origin"],
+        )
+        server.submit_task(remainder, callback)
+        resumed += 1
+    return resumed

@@ -1,0 +1,122 @@
+"""Privacy filtering at the Sense-Aid server (paper §3.2 and §6).
+
+"The crowdsensing data still goes through the Sense-Aid server, rather
+than directly to the application server.  This is to maintain user
+privacy by filtering out private information at Sense-Aid server" and
+"No per-device data (such as, IMEI number) need to be made visible to
+the crowdsensing application server."
+
+Three mechanisms:
+
+- **Payload scrubbing** — device identifiers and device-state fields
+  (battery, energy) are stripped before anything reaches an
+  application; only the salted hash the application needs for
+  deduplication survives.
+- **Location generalization** — a device's position is only ever
+  reported at serving-tower granularity (the paper's design already
+  works at this granularity; the helper makes the guarantee explicit).
+- **k-anonymity gating** — optionally, readings for a request are
+  buffered and released only once at least ``k`` distinct devices have
+  contributed, so an application can never correlate a single upload
+  with a single participant.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Tuple
+
+# NOTE: this module deliberately avoids importing the server (which
+# imports this module's policy type); data points are handled as frozen
+# dataclasses via dataclasses.replace.
+
+#: Payload keys that must never reach an application server.
+SENSITIVE_FIELDS = (
+    "device_id",
+    "imei",
+    "battery_pct",
+    "energy_used_j",
+    "position",
+    "location",
+)
+
+
+@dataclass(frozen=True)
+class PrivacyPolicy:
+    """Configuration of the server-side privacy filter."""
+
+    #: Release readings for a request only once this many distinct
+    #: devices have contributed (1 = release immediately).
+    k_anonymity: int = 1
+    #: Salt mixed into the per-application pseudonym derivation, so two
+    #: applications cannot join their datasets on device pseudonyms.
+    pseudonym_salt: str = "sense-aid"
+
+    def __post_init__(self) -> None:
+        if self.k_anonymity < 1:
+            raise ValueError("k_anonymity must be >= 1")
+
+
+def scrub_payload(payload: dict) -> dict:
+    """Return a copy of an upload payload with sensitive fields removed."""
+    return {k: v for k, v in payload.items() if k not in SENSITIVE_FIELDS}
+
+
+def generalize_location(tower_id: str) -> str:
+    """The only location granularity an application ever sees."""
+    return f"cell:{tower_id}"
+
+
+class PrivacyFilter:
+    """Buffers and releases sensed data under a privacy policy."""
+
+    def __init__(self, policy: PrivacyPolicy) -> None:
+        self.policy = policy
+        self._buffers: Dict[str, List[Tuple[Any, Callable]]] = defaultdict(list)
+        self._contributors: Dict[str, set] = defaultdict(set)
+        self.released = 0
+        self.suppressed = 0
+
+    def pseudonym(self, device_hash: str, application: str) -> str:
+        """A per-application pseudonym: stable within an application,
+        unlinkable across applications."""
+        material = f"{self.policy.pseudonym_salt}:{application}:{device_hash}"
+        return hashlib.sha256(material.encode("utf-8")).hexdigest()[:16]
+
+    def offer(
+        self,
+        point: Any,
+        application: str,
+        deliver: Callable[[Any], None],
+    ) -> None:
+        """Submit one reading (a ``SensedDataPoint``); it is delivered
+        (possibly later) once the k-anonymity bar for its request is
+        met."""
+        pseudonymized = dataclasses.replace(
+            point, device_hash=self.pseudonym(point.device_hash, application)
+        )
+        key = point.request_id
+        self._contributors[key].add(point.device_hash)
+        if len(self._contributors[key]) >= self.policy.k_anonymity:
+            for buffered, buffered_deliver in self._buffers.pop(key, []):
+                self.released += 1
+                buffered_deliver(buffered)
+            self.released += 1
+            deliver(pseudonymized)
+        else:
+            self._buffers[key].append((pseudonymized, deliver))
+
+    def close_request(self, request_id: str) -> int:
+        """A request's deadline passed: drop anything still below the
+        k bar (suppression, never late release).  Returns the number of
+        suppressed readings."""
+        dropped = len(self._buffers.pop(request_id, []))
+        self._contributors.pop(request_id, None)
+        self.suppressed += dropped
+        return dropped
+
+    def pending(self, request_id: str) -> int:
+        return len(self._buffers.get(request_id, []))

@@ -1,0 +1,124 @@
+"""Deadline-sorted request queues (the paper's Task Handler).
+
+Two queues, both ordered by request deadline: the **run queue** holds
+requests that are due for scheduling, the **wait queue** holds
+requests that could not be satisfied (fewer qualified devices than the
+required spatial density) and are periodically re-checked by
+Algorithm 1's ``wait_check_thread``.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, Iterator, List, Optional
+
+from repro.core.tasks import SensingRequest
+
+
+class RequestQueue:
+    """A min-heap of :class:`SensingRequest` keyed by deadline.
+
+    Supports lazy removal by task id so ``delete_task()`` can retract
+    all pending requests of a task in O(1) per request.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._heap: list = []
+        self._counter = itertools.count()
+        self._retracted_tasks: set = set()
+        self._live = 0
+
+    def __len__(self) -> int:
+        return self._live
+
+    def __bool__(self) -> bool:
+        return self._live > 0
+
+    def push(self, request: SensingRequest) -> None:
+        if request.task.task_id in self._retracted_tasks:
+            return
+        heapq.heappush(
+            self._heap, (request.deadline, next(self._counter), request)
+        )
+        self._live += 1
+
+    def pop(self) -> Optional[SensingRequest]:
+        """Remove and return the earliest-deadline live request."""
+        while self._heap:
+            _, _, request = heapq.heappop(self._heap)
+            if request.task.task_id in self._retracted_tasks:
+                continue
+            self._live -= 1
+            return request
+        return None
+
+    def peek(self) -> Optional[SensingRequest]:
+        while self._heap:
+            if self._heap[0][2].task.task_id in self._retracted_tasks:
+                heapq.heappop(self._heap)
+                continue
+            return self._heap[0][2]
+        return None
+
+    def retract_task(self, task_id: int) -> int:
+        """Drop every queued request belonging to one task.
+
+        Returns how many live requests were retracted.  Future pushes
+        of the task are also ignored, so an in-flight expansion of a
+        deleted task cannot resurrect it.
+        """
+        self._retracted_tasks.add(task_id)
+        dropped = sum(
+            1 for _, _, r in self._heap if r.task.task_id == task_id
+        )
+        self._live -= dropped
+        return dropped
+
+    def allow_task(self, task_id: int) -> None:
+        """Lift a retraction (a re-submitted task id)."""
+        self._retracted_tasks.discard(task_id)
+
+    def drain_satisfiable(
+        self, is_satisfiable: Callable[[SensingRequest], bool]
+    ) -> List[SensingRequest]:
+        """Remove and return every live request that is satisfiable now.
+
+        This is the wait-queue check: requests that remain
+        unsatisfiable stay queued in deadline order.
+        """
+        satisfiable: List[SensingRequest] = []
+        keep: List[SensingRequest] = []
+        while True:
+            request = self.pop()
+            if request is None:
+                break
+            if is_satisfiable(request):
+                satisfiable.append(request)
+            else:
+                keep.append(request)
+        for request in keep:
+            self.push(request)
+        return satisfiable
+
+    def drop_expired(self, now: float) -> List[SensingRequest]:
+        """Remove and return every live request whose deadline passed."""
+        expired: List[SensingRequest] = []
+        while True:
+            head = self.peek()
+            if head is None or head.deadline > now:
+                break
+            popped = self.pop()
+            assert popped is not None
+            expired.append(popped)
+        return expired
+
+    def __iter__(self) -> Iterator[SensingRequest]:
+        """Live requests in deadline order (non-destructive)."""
+        live = [
+            entry
+            for entry in self._heap
+            if entry[2].task.task_id not in self._retracted_tasks
+        ]
+        return (request for _, _, request in sorted(live))

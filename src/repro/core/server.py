@@ -1,0 +1,673 @@
+"""The Sense-Aid server (Algorithm 1).
+
+Lifecycle of a task:
+
+1. An application server submits a :class:`TaskSpec`; it lands in the
+   task datastore and is expanded into deadline-stamped
+   :class:`SensingRequest` s, each scheduled for issue at its sampling
+   instant.
+2. At issue time a request enters the **run queue** and the drain loop
+   runs: the server computes the request's *qualified devices* (signed
+   up, inside the task region, carrying the needed sensor, matching
+   any device-type restriction), then asks the device selector for the
+   best ``spatial_density`` of them.
+3. If too few devices qualify, the request moves to the **wait queue**,
+   re-checked periodically (``wait_check_thread``) until it becomes
+   satisfiable or its deadline passes.
+4. Selected devices receive assignments over the control plane (the
+   paper measures and then explicitly excludes control-message energy,
+   so the control plane costs no device energy here; see DESIGN.md).
+   Devices upload sensor data over the cellular data path — that is
+   where the energy model bites.
+5. Arriving data is validated (region and value plausibility), folded
+   into the device record, and forwarded to the originating
+   application server.  Sense-Aid sits on the data path, so no raw
+   device identity ever reaches the application server — it sees
+   hashed identifiers only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from repro.cellular.enodeb import TowerRegistry
+from repro.cellular.network import CellularNetwork, DeliveryReceipt
+from repro.cellular.packets import Message, MessageKind
+from repro.core.config import ControlPlane, SenseAidConfig, ServerMode
+from repro.core.privacy import PrivacyFilter, PrivacyPolicy, scrub_payload
+from repro.core.datastores import DeviceDatastore, DeviceRecord, TaskDatastore
+from repro.core.queues import RequestQueue
+from repro.core.selector import DeviceSelector
+from repro.core.tasks import SensingRequest, TaskSpec
+from repro.devices.sensors import SensorType
+from repro.sim.engine import Simulator
+from repro.sim.processes import PeriodicProcess
+from repro.sim.simlog import SimLogger
+
+#: Plausibility window for barometric readings (hPa); arriving values
+#: outside it are counted as invalid data (one of the paper's two
+#: disqualification causes).
+PRESSURE_VALID_RANGE = (850.0, 1100.0)
+
+
+@dataclass(frozen=True)
+class Assignment:
+    """A scheduling decision delivered to one device."""
+
+    request: SensingRequest
+    device_id: str
+    assigned_at: float
+
+    @property
+    def deadline(self) -> float:
+        return self.request.deadline
+
+    @property
+    def sensor_type(self) -> SensorType:
+        return self.request.task.sensor_type
+
+
+@dataclass(frozen=True)
+class SelectionEvent:
+    """One execution of the device selector — the Fig. 9 unit."""
+
+    time: float
+    request_id: str
+    task_id: int
+    qualified: Tuple[str, ...]
+    selected: Tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class SensedDataPoint:
+    """What a crowdsensing application server receives.
+
+    Identified by the device's hashed IMEI only — the privacy filter
+    the paper describes.
+    """
+
+    request_id: str
+    task_id: int
+    sensor_type: SensorType
+    value: float
+    sensed_at: float
+    delivered_at: float
+    device_hash: str
+
+
+@dataclass
+class _RequestTracking:
+    request: SensingRequest
+    assigned: Set[str] = field(default_factory=set)
+    received: Set[str] = field(default_factory=set)
+    satisfied: bool = False
+
+
+@dataclass
+class ServerStats:
+    """Aggregate outcome counters for one run."""
+
+    requests_issued: int = 0
+    requests_scheduled: int = 0
+    requests_waitlisted: int = 0
+    requests_expired: int = 0
+    requests_satisfied: int = 0
+    data_points: int = 0
+    invalid_data: int = 0
+    assignments: int = 0
+    requests_lost_to_crash: int = 0
+    reassignments: int = 0
+
+
+DataCallback = Callable[[SensedDataPoint], None]
+AssignmentHandler = Callable[[Assignment], None]
+
+
+class SenseAidServer:
+    """The edge middleware orchestrating crowdsensing devices."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        registry: TowerRegistry,
+        network: CellularNetwork,
+        config: Optional[SenseAidConfig] = None,
+        *,
+        control_latency_s: float = 0.05,
+        privacy_policy: Optional[PrivacyPolicy] = None,
+    ) -> None:
+        self._sim = sim
+        self._registry = registry
+        self._network = network
+        self.config = config if config is not None else SenseAidConfig()
+        self.devices = DeviceDatastore()
+        self.tasks = TaskDatastore()
+        self.run_queue = RequestQueue("run")
+        self.wait_queue = RequestQueue("wait")
+        self.selector = DeviceSelector(
+            self.config.weights,
+            self.config.max_selections_per_epoch,
+            self.config.min_reliability,
+        )
+        self.stats = ServerStats()
+        self.selection_log: List[SelectionEvent] = []
+        self._control_latency = control_latency_s
+        self._assignment_handlers: Dict[str, AssignmentHandler] = {}
+        self._data_callbacks: Dict[str, DataCallback] = {}
+        self._tracking: Dict[str, _RequestTracking] = {}
+        self._crashed = False
+        self.log = SimLogger(sim, "repro.core.server")
+        self.privacy = (
+            PrivacyFilter(privacy_policy) if privacy_policy is not None else None
+        )
+        self._wait_checker = PeriodicProcess(
+            sim, self.config.wait_check_period_s, self._check_wait_queue
+        )
+        self._epoch_resetter: Optional[PeriodicProcess] = None
+        if self.config.epoch_reset_period_s is not None:
+            self._epoch_resetter = PeriodicProcess(
+                sim, self.config.epoch_reset_period_s, self._reset_epoch
+            )
+
+    # ------------------------------------------------------------------
+    # Mode / policy
+    # ------------------------------------------------------------------
+
+    @property
+    def mode(self) -> ServerMode:
+        return self.config.mode
+
+    def crowdsensing_resets_tail(self) -> bool:
+        """Basic resets the tail on upload; Complete does not."""
+        return self.mode is ServerMode.BASIC
+
+    def shutdown(self) -> None:
+        """Stop background threads (wait-queue checker, epoch resets)."""
+        self._wait_checker.stop()
+        if self._epoch_resetter is not None:
+            self._epoch_resetter.stop()
+
+    # ------------------------------------------------------------------
+    # Failure handling (the paper's fail-safe: path 1 survives a
+    # Sense-Aid server crash)
+    # ------------------------------------------------------------------
+
+    @property
+    def crashed(self) -> bool:
+        return self._crashed
+
+    def crash(self) -> None:
+        """Take the server down.
+
+        The eNodeBs immediately fall back to path 1 for all traffic
+        (regular traffic is unaffected); orchestration stops and
+        requests that come due while the server is down are lost.
+        """
+        if self._crashed:
+            return
+        self._crashed = True
+        self.log.warning("server crashed; eNodeBs fail over to path 1")
+        self._network.set_sense_aid_path_available(False)
+        self._wait_checker.stop()
+
+    def recover(self) -> None:
+        """Bring the server back.
+
+        Tasks live in the (persistent) task datastore and their
+        remaining sampling instants were scheduled at submission, so
+        they resume firing on their own; requests that came due during
+        the outage stay lost.
+        """
+        if not self._crashed:
+            return
+        self._crashed = False
+        self.log.warning("server recovered; resuming orchestration")
+        self._network.set_sense_aid_path_available(True)
+        self._wait_checker = PeriodicProcess(
+            self._sim, self.config.wait_check_period_s, self._check_wait_queue
+        )
+
+    def _reset_epoch(self) -> None:
+        """Start a new accounting epoch (selection/energy counters)."""
+        self.devices.reset_epoch()
+
+    # ------------------------------------------------------------------
+    # Device-facing API (called by the client-side library)
+    # ------------------------------------------------------------------
+
+    def register_device(
+        self, device, assignment_handler: AssignmentHandler
+    ) -> DeviceRecord:
+        """Sign a device up for crowdsensing campaigns.
+
+        The record is seeded from the registration payload: hashed
+        IMEI, energy budget, critical battery level, battery level, and
+        the device's sensor complement.
+        """
+        record = DeviceRecord(
+            device_id=device.device_id,
+            imei_hash=device.imei_hash,
+            device_model=device.profile.model,
+            energy_budget_j=device.preferences.energy_budget_j,
+            critical_battery_pct=device.preferences.critical_battery_pct,
+            battery_pct=device.battery.level_pct,
+            registered_at=self._sim.now,
+            sensors=frozenset(device.sensors.equipped()),
+        )
+        self.devices.register(record)
+        self._registry.attach_device(device)
+        self._assignment_handlers[device.device_id] = assignment_handler
+        return record
+
+    def deregister_device(self, device_id: str) -> None:
+        self.devices.deregister(device_id)
+        self._registry.detach_device(device_id)
+        self._assignment_handlers.pop(device_id, None)
+
+    def update_preferences(
+        self,
+        device_id: str,
+        *,
+        energy_budget_j: Optional[float] = None,
+        critical_battery_pct: Optional[float] = None,
+    ) -> None:
+        record = self.devices.record(device_id)
+        if energy_budget_j is not None:
+            if energy_budget_j < 0:
+                raise ValueError("energy budget must be non-negative")
+            record.energy_budget_j = energy_budget_j
+        if critical_battery_pct is not None:
+            if not 0.0 <= critical_battery_pct <= 100.0:
+                raise ValueError("critical battery level must be in [0, 100]")
+            record.critical_battery_pct = critical_battery_pct
+
+    def report_device_state(
+        self, device_id: str, battery_pct: float, energy_used_j: float
+    ) -> None:
+        """Fold a control-plane state ping into the device record."""
+        if device_id not in self.devices:
+            return
+        self.devices.update_state(
+            device_id,
+            battery_pct=battery_pct,
+            energy_used_j=energy_used_j,
+        )
+
+    # ------------------------------------------------------------------
+    # Application-server-facing API
+    # ------------------------------------------------------------------
+
+    def submit_task(self, task: TaskSpec, data_callback: DataCallback) -> int:
+        """Accept a task; expand it into requests and schedule them."""
+        self.tasks.add(task)
+        self._data_callbacks[str(task.task_id)] = data_callback
+        self.run_queue.allow_task(task.task_id)
+        self.wait_queue.allow_task(task.task_id)
+        requests = task.expand_requests(
+            self._sim.now, self.config.one_shot_deadline_s
+        )
+        self.log.info(
+            "task %d from %s accepted: %d requests, density %d",
+            task.task_id,
+            task.origin,
+            len(requests),
+            task.spatial_density,
+        )
+        for request in requests:
+            delay = max(0.0, request.issue_time - self._sim.now)
+            self._sim.schedule(delay, self._issue_request, request)
+        return task.task_id
+
+    def update_task(self, task_id: int, **changes) -> TaskSpec:
+        """Update parameters of an existing task.
+
+        Pending (not yet issued) requests of the old spec are
+        retracted and the updated task is re-expanded from now.
+        """
+        old = self.tasks.get(task_id)
+        updated = old.with_updates(**changes)
+        self.tasks.replace(updated)
+        self.run_queue.retract_task(task_id)
+        self.wait_queue.retract_task(task_id)
+        self.run_queue.allow_task(task_id)
+        self.wait_queue.allow_task(task_id)
+        for request in updated.expand_requests(
+            self._sim.now, self.config.one_shot_deadline_s
+        ):
+            delay = max(0.0, request.issue_time - self._sim.now)
+            self._sim.schedule(delay, self._issue_request, request)
+        return updated
+
+    def delete_task(self, task_id: int) -> None:
+        self.tasks.remove(task_id)
+        self.run_queue.retract_task(task_id)
+        self.wait_queue.retract_task(task_id)
+        self._data_callbacks.pop(str(task_id), None)
+
+    # ------------------------------------------------------------------
+    # Scheduling core (Algorithm 1)
+    # ------------------------------------------------------------------
+
+    def qualified_devices(self, request: SensingRequest) -> List[str]:
+        """Devices that can serve this request right now.
+
+        Signed up, currently inside the task's circular region (the
+        edge's location view), carrying the required sensor, and
+        matching any device-type restriction.
+        """
+        task = request.task
+        in_region = self._registry.devices_within(task.center, task.area_radius_m)
+        qualified = []
+        for device_id in in_region:
+            if device_id not in self.devices:
+                continue
+            record = self.devices.record(device_id)
+            if task.sensor_type not in record.sensors:
+                continue
+            if task.device_type is not None and record.device_model != task.device_type:
+                continue
+            qualified.append(device_id)
+        return qualified
+
+    def _issue_request(self, request: SensingRequest) -> None:
+        if self._crashed:
+            self.stats.requests_lost_to_crash += 1
+            return
+        if request.task.task_id not in self.tasks:
+            return  # task deleted while the issue event was in flight
+        if self.tasks.get(request.task.task_id) != request.task:
+            return  # task updated since this request was expanded
+        self.stats.requests_issued += 1
+        self.run_queue.push(request)
+        self._drain_run_queue()
+
+    def _drain_run_queue(self) -> None:
+        while True:
+            request = self.run_queue.pop()
+            if request is None:
+                return
+            self._schedule_request(request)
+
+    def _schedule_request(self, request: SensingRequest) -> None:
+        now = self._sim.now
+        if request.deadline <= now:
+            self.stats.requests_expired += 1
+            return
+        self._refresh_edge_view()
+        qualified_ids = self.qualified_devices(request)
+        records = [self.devices.record(d) for d in qualified_ids]
+        needed = request.devices_needed
+        if self.config.select_all_qualified:
+            ranked = self.selector.rank(records, now)
+            selected = [s.device_id for s in ranked] if len(ranked) >= needed else None
+        else:
+            selected = self.selector.select(records, needed, now)
+        if selected is None:
+            self.stats.requests_waitlisted += 1
+            self.log.debug(
+                "request %s unsatisfiable (%d qualified, %d needed); waitlisted",
+                request.request_id,
+                len(qualified_ids),
+                needed,
+            )
+            self.wait_queue.push(request)
+            return
+        self.stats.requests_scheduled += 1
+        self.log.debug(
+            "request %s: selected %s of %d qualified",
+            request.request_id,
+            selected,
+            len(qualified_ids),
+        )
+        self.selection_log.append(
+            SelectionEvent(
+                time=now,
+                request_id=request.request_id,
+                task_id=request.task.task_id,
+                qualified=tuple(qualified_ids),
+                selected=tuple(selected),
+            )
+        )
+        tracking = _RequestTracking(request=request)
+        self._tracking[request.request_id] = tracking
+        if self.privacy is not None:
+            self._sim.schedule_at(
+                request.deadline, self.privacy.close_request, request.request_id
+            )
+        if self.config.reassign_margin_s is not None:
+            check_at = request.deadline - self.config.reassign_margin_s
+            if check_at > now:
+                self._sim.schedule_at(
+                    check_at, self._reassign_missing, request.request_id
+                )
+        for device_id in selected:
+            self._assign(request, device_id, tracking)
+
+    def _assign(
+        self, request: SensingRequest, device_id: str, tracking: _RequestTracking
+    ) -> None:
+        self.devices.mark_selected(device_id)
+        tracking.assigned.add(device_id)
+        self.stats.assignments += 1
+        assignment = Assignment(
+            request=request, device_id=device_id, assigned_at=self._sim.now
+        )
+        handler = self._assignment_handlers.get(device_id)
+        if handler is None:
+            # Registered but its client vanished: treat as unresponsive.
+            self.devices.mark_unresponsive(device_id)
+            return
+        if self.config.control_plane is ControlPlane.PUSH_PAGED:
+            self._page_assignment(device_id, handler, assignment)
+        else:
+            self._sim.schedule(self._control_latency, handler, assignment)
+
+    def _page_assignment(
+        self, device_id: str, handler: AssignmentHandler, assignment: Assignment
+    ) -> None:
+        """Deliver an assignment by paging the device's radio.
+
+        The downlink transfer is crowdsensing-caused radio activity, so
+        it is charged to the crowdsensing account — the cost the pull
+        design avoids.
+        """
+        from repro.cellular.packets import ASSIGNMENT_BYTES, TrafficCategory
+
+        try:
+            device = self._registry.device(device_id)
+        except KeyError:
+            self.devices.mark_unresponsive(device_id)
+            return
+        message = Message(
+            kind=MessageKind.TASK_ASSIGNMENT,
+            sender="sense-aid",
+            size_bytes=ASSIGNMENT_BYTES,
+            category=TrafficCategory.CROWDSENSING,
+            payload={"request_id": assignment.request.request_id},
+        )
+        self._network.downlink(
+            device,
+            message,
+            on_delivered=lambda msg, receipt: handler(assignment),
+        )
+
+    def _reassign_missing(self, request_id: str) -> None:
+        """Shortly before a request's deadline, draft substitutes for
+        any readings that have not arrived (lost in the network, or the
+        device disappeared)."""
+        if self._crashed:
+            return
+        tracking = self._tracking.get(request_id)
+        if tracking is None:
+            return
+        missing = len(tracking.assigned) - len(tracking.received)
+        if missing <= 0:
+            return
+        # Strike the silent originals; repeat offenders get excluded.
+        strikes_cap = self.config.unresponsive_strikes
+        for device_id in tracking.assigned - tracking.received:
+            if device_id not in self.devices:
+                continue
+            record = self.devices.record(device_id)
+            record.missed_deliveries += 1
+            if strikes_cap is not None and record.missed_deliveries >= strikes_cap:
+                self.log.warning(
+                    "device %s missed %d deliveries; marked unresponsive",
+                    device_id,
+                    record.missed_deliveries,
+                )
+                self.devices.mark_unresponsive(device_id)
+        self._refresh_edge_view()
+        candidates = [
+            self.devices.record(d)
+            for d in self.qualified_devices(tracking.request)
+            if d not in tracking.assigned
+        ]
+        substitutes = self.selector.rank(candidates, self._sim.now)[:missing]
+        if substitutes:
+            self.log.info(
+                "request %s short %d reading(s); drafting %s",
+                request_id,
+                missing,
+                [s.device_id for s in substitutes],
+            )
+        for scored in substitutes:
+            self.stats.reassignments += 1
+            self._assign(tracking.request, scored.device_id, tracking)
+
+    def _check_wait_queue(self) -> None:
+        expired = self.wait_queue.drop_expired(self._sim.now)
+        self.stats.requests_expired += len(expired)
+
+        def satisfiable(request: SensingRequest) -> bool:
+            self._refresh_edge_view()
+            qualified = [
+                self.devices.record(d) for d in self.qualified_devices(request)
+            ]
+            return (
+                self.selector.select(
+                    qualified, request.devices_needed, self._sim.now
+                )
+                is not None
+            )
+
+        for request in self.wait_queue.drain_satisfiable(satisfiable):
+            self.run_queue.push(request)
+        self._drain_run_queue()
+
+    def _refresh_edge_view(self) -> None:
+        """Pull the eNodeBs' current view: attachment + last-comm age.
+
+        A third-party (non-carrier) deployment has no live RRC
+        visibility, so its records keep whatever last-comm times the
+        devices reported themselves.
+        """
+        self._registry.refresh_attachments()
+        if not self.config.carrier_integrated:
+            return
+        now = self._sim.now
+        for device_id in self.devices.device_ids():
+            try:
+                age = self._registry.seconds_since_last_comm(device_id)
+            except KeyError:
+                continue
+            if age is not None:
+                self.devices.update_state(device_id, last_comm_time=now - age)
+
+    # ------------------------------------------------------------------
+    # Data path
+    # ------------------------------------------------------------------
+
+    def receive_sensed_data(self, message: Message, receipt: DeliveryReceipt) -> None:
+        """Network delivery callback for SENSOR_DATA uploads."""
+        if self._crashed:
+            return  # traffic bypassed us on path 1
+        if message.kind is not MessageKind.SENSOR_DATA:
+            return
+        payload = message.payload
+        device_id = payload["device_id"]
+        request_id = payload["request_id"]
+        if device_id in self.devices:
+            self.devices.update_state(
+                device_id,
+                battery_pct=payload.get("battery_pct"),
+                energy_used_j=payload.get("energy_used_j"),
+                last_comm_time=receipt.radio_complete_at,
+            )
+        tracking = self._tracking.get(request_id)
+        if tracking is None:
+            return
+        if not self._validate_reading(tracking.request, device_id, payload):
+            self.stats.invalid_data += 1
+            if device_id in self.devices:
+                self.devices.note_invalid_data(device_id)
+            return
+        if device_id not in tracking.assigned:
+            return  # upload from a device this request never selected
+        if device_id in tracking.received:
+            return  # duplicate upload
+        tracking.received.add(device_id)
+        self.devices.note_valid_data(device_id)
+        # A delivery proves the device is alive: clear its strikes and
+        # restore eligibility.
+        record = self.devices.record(device_id)
+        record.missed_deliveries = 0
+        if not record.responsive:
+            self.devices.mark_responsive(device_id)
+        self.stats.data_points += 1
+        if (
+            not tracking.satisfied
+            and len(tracking.received) >= tracking.request.devices_needed
+        ):
+            tracking.satisfied = True
+            self.stats.requests_satisfied += 1
+        self._forward_to_application(tracking.request, device_id, payload)
+
+    def _validate_reading(
+        self, request: SensingRequest, device_id: str, payload: dict
+    ) -> bool:
+        if device_id not in self.devices:
+            return False
+        value = payload.get("value")
+        if value is None:
+            return False
+        if request.task.sensor_type is SensorType.BAROMETER:
+            low, high = PRESSURE_VALID_RANGE
+            if not low <= value <= high:
+                return False
+        return True
+
+    def _forward_to_application(
+        self, request: SensingRequest, device_id: str, payload: dict
+    ) -> None:
+        callback = self._data_callbacks.get(str(request.task.task_id))
+        if callback is None:
+            return
+        record = self.devices.record(device_id)
+        safe_payload = scrub_payload(payload)
+        point = SensedDataPoint(
+            request_id=request.request_id,
+            task_id=request.task.task_id,
+            sensor_type=request.task.sensor_type,
+            value=safe_payload["value"],
+            sensed_at=safe_payload.get("sensed_at", self._sim.now),
+            delivered_at=self._sim.now,
+            device_hash=record.imei_hash,
+        )
+        if self.privacy is not None:
+            self.privacy.offer(point, request.task.origin, callback)
+        else:
+            callback(point)
+
+    # ------------------------------------------------------------------
+    # Reporting helpers
+    # ------------------------------------------------------------------
+
+    def selections_per_device(self) -> Dict[str, int]:
+        """How many times each device was selected (Fig. 9 fairness)."""
+        counts: Dict[str, int] = {}
+        for event in self.selection_log:
+            for device_id in event.selected:
+                counts[device_id] = counts.get(device_id, 0) + 1
+        return counts

@@ -1,0 +1,78 @@
+"""Battery model.
+
+The paper normalises everything to a nominal 1800 mAh, 3.82 V battery:
+its "2% tolerable budget" line is 496 J.  The model tracks remaining
+charge in Joules and exposes the percentage level the Sense-Aid device
+selector scores on.
+"""
+
+from __future__ import annotations
+
+#: The paper's nominal battery: 1800 mAh × 3.82 V ≈ 24.7 kJ.
+NOMINAL_CAPACITY_MAH = 1800.0
+NOMINAL_VOLTAGE_V = 3.82
+
+
+def capacity_joules(capacity_mah: float, voltage_v: float) -> float:
+    """Convert a battery rating to Joules."""
+    if capacity_mah <= 0 or voltage_v <= 0:
+        raise ValueError("capacity and voltage must be positive")
+    return capacity_mah / 1000.0 * 3600.0 * voltage_v
+
+
+#: 2% of the nominal battery — the paper's 496 J threshold bar.
+TWO_PERCENT_BUDGET_J = 0.02 * capacity_joules(NOMINAL_CAPACITY_MAH, NOMINAL_VOLTAGE_V)
+
+
+class Battery:
+    """A drainable battery with percentage-level reporting."""
+
+    def __init__(
+        self,
+        capacity_mah: float = NOMINAL_CAPACITY_MAH,
+        voltage_v: float = NOMINAL_VOLTAGE_V,
+        initial_level_pct: float = 100.0,
+    ) -> None:
+        if not 0.0 <= initial_level_pct <= 100.0:
+            raise ValueError(
+                f"initial level must be in [0, 100], got {initial_level_pct!r}"
+            )
+        self._capacity_j = capacity_joules(capacity_mah, voltage_v)
+        self._remaining_j = self._capacity_j * initial_level_pct / 100.0
+        self._drained_j = 0.0
+
+    @property
+    def capacity_j(self) -> float:
+        return self._capacity_j
+
+    @property
+    def remaining_j(self) -> float:
+        return self._remaining_j
+
+    @property
+    def drained_j(self) -> float:
+        """Total Joules drained since construction."""
+        return self._drained_j
+
+    @property
+    def level_pct(self) -> float:
+        """Remaining charge as a percentage of capacity."""
+        return self._remaining_j / self._capacity_j * 100.0
+
+    @property
+    def empty(self) -> bool:
+        return self._remaining_j <= 0.0
+
+    def drain(self, joules: float) -> None:
+        """Remove ``joules``; clamps at empty rather than going negative."""
+        if joules < 0:
+            raise ValueError(f"cannot drain negative energy, got {joules!r}")
+        drained = min(joules, self._remaining_j)
+        self._remaining_j -= drained
+        self._drained_j += joules
+
+    def percent_of_capacity(self, joules: float) -> float:
+        """Express an energy amount as a % of this battery's capacity."""
+        if joules < 0:
+            raise ValueError(f"joules must be non-negative, got {joules!r}")
+        return joules / self._capacity_j * 100.0

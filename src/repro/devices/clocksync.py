@@ -1,0 +1,136 @@
+"""Device clock skew and low-duty synchronization.
+
+Paper §6: "One possible source of errors ... is the lack of
+synchronization among the client devices and the server
+infrastructure.  However, we can use low-duty synchronization
+protocols such as [Koo et al., SenSys'09] to avoid this source of
+error."
+
+:class:`SkewedClock` models a phone clock with a constant offset plus
+crystal drift (tens of ppm, the realistic range for phone oscillators).
+:class:`LowDutySync` is the stand-in for the cited protocol: whenever
+the device's radio is already up (the same opportunism Sense-Aid uses
+for everything else), it exchanges a timestamp pair with the server
+and corrects the clock, keeping the residual error bounded by the
+network jitter rather than growing with drift.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.sim.engine import Simulator
+
+
+class SkewedClock:
+    """A device clock: ``device_time = true_time + offset + drift·t``."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        *,
+        initial_offset_s: float = 0.0,
+        drift_ppm: float = 0.0,
+    ) -> None:
+        self._sim = sim
+        self._offset = float(initial_offset_s)
+        self._drift = float(drift_ppm) * 1e-6
+        self._drift_anchor = sim.now
+
+    @property
+    def drift_ppm(self) -> float:
+        return self._drift * 1e6
+
+    def now(self) -> float:
+        """The time this device believes it is."""
+        true_now = self._sim.now
+        return true_now + self.error()
+
+    def error(self) -> float:
+        """Current device-minus-true clock error, in seconds."""
+        elapsed = self._sim.now - self._drift_anchor
+        return self._offset + self._drift * elapsed
+
+    def correct(self, measured_error_s: float) -> None:
+        """Apply a sync correction: subtract the measured error."""
+        # Fold accumulated drift into the offset, then remove the
+        # estimate; residual error is whatever the estimate missed.
+        self._offset = self.error() - measured_error_s
+        self._drift_anchor = self._sim.now
+
+
+class LowDutySync:
+    """Opportunistic timestamp-exchange synchronization.
+
+    A sync round measures the clock error through a request/response
+    pair whose one-way delays are jittered; the measurement error is
+    half the delay asymmetry.  Rounds run at a low duty cycle
+    (``period_s``); each round corrects the device clock.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        clock: SkewedClock,
+        *,
+        period_s: float = 600.0,
+        one_way_delay_s: float = 0.05,
+        jitter_s: float = 0.01,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        if period_s <= 0:
+            raise ValueError(f"period_s must be positive, got {period_s!r}")
+        if one_way_delay_s < 0 or jitter_s < 0:
+            raise ValueError("delays must be non-negative")
+        self._sim = sim
+        self._clock = clock
+        self._period = period_s
+        self._delay = one_way_delay_s
+        self._jitter = jitter_s
+        self._rng = rng if rng is not None else sim.rng.stream("clocksync")
+        self._running = False
+        self._pending = None
+        self.rounds = 0
+
+    @property
+    def running(self) -> bool:
+        return self._running
+
+    def start(self, initial_delay: Optional[float] = None) -> None:
+        if self._running:
+            raise RuntimeError("sync already running")
+        self._running = True
+        delay = self._period if initial_delay is None else initial_delay
+        self._pending = self._sim.schedule(delay, self._round)
+
+    def stop(self) -> None:
+        self._running = False
+        if self._pending is not None:
+            self._sim.cancel(self._pending)
+            self._pending = None
+
+    def sync_now(self) -> float:
+        """Run one sync round immediately; returns the residual error."""
+        self._round_measurement()
+        return self._clock.error()
+
+    def max_residual_error_s(self) -> float:
+        """Worst-case error right after a round: delay asymmetry / 2."""
+        return self._jitter
+
+    def _round(self) -> None:
+        if not self._running:
+            return
+        self._round_measurement()
+        self._pending = self._sim.schedule(self._period, self._round)
+
+    def _round_measurement(self) -> None:
+        self.rounds += 1
+        # NTP-style two-sample estimate: the error estimate is off by
+        # half the difference between the two one-way delays.
+        delay_out = self._delay + self._rng.uniform(0.0, self._jitter)
+        delay_back = self._delay + self._rng.uniform(0.0, self._jitter)
+        asymmetry = (delay_out - delay_back) / 2.0
+        measured = self._clock.error() + asymmetry
+        self._clock.correct(measured)

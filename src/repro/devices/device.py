@@ -1,0 +1,151 @@
+"""The simulated mobile device (UE)."""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.cellular.packets import TrafficCategory
+from repro.cellular.power import LTE_POWER_PROFILE, RadioPowerProfile
+from repro.cellular.rrc import RadioModem, TailPolicy
+from repro.devices.battery import Battery
+from repro.devices.energy import EnergyLedger
+from repro.devices.profiles import DeviceProfile, NOMINAL_PHONE
+from repro.devices.sensors import SensorReading, SensorSuite, SensorType
+from repro.devices.traffic import BackgroundTraffic, TrafficPattern
+from repro.environment.geometry import Point
+from repro.environment.mobility import MobilityModel, StaticMobility
+from repro.sim.engine import Simulator
+
+
+@dataclass
+class UserPreferences:
+    """What a participant signed up for at the bootstrap step.
+
+    ``energy_budget_j`` is the total energy the user tolerates spending
+    on crowdsensing (the survey's 2% ≈ 496 J default);
+    ``critical_battery_pct`` is the hard floor below which the device
+    must never be selected.
+    """
+
+    energy_budget_j: float = 496.0
+    critical_battery_pct: float = 20.0
+    participating: bool = True
+
+    def __post_init__(self) -> None:
+        if self.energy_budget_j < 0:
+            raise ValueError("energy budget must be non-negative")
+        if not 0.0 <= self.critical_battery_pct <= 100.0:
+            raise ValueError("critical battery level must be in [0, 100]")
+
+
+class SimDevice:
+    """A phone: radio + battery + sensors + traffic + mobility.
+
+    All radio marginal energy flows into the per-category
+    :class:`EnergyLedger` *and* out of the battery; sensor samples are
+    charged to the crowdsensing category the same way.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        device_id: str,
+        *,
+        imei: Optional[str] = None,
+        profile: DeviceProfile = NOMINAL_PHONE,
+        radio_profile: RadioPowerProfile = LTE_POWER_PROFILE,
+        tail_policy: TailPolicy = TailPolicy.RESET,
+        mobility: Optional[MobilityModel] = None,
+        initial_battery_pct: float = 100.0,
+        traffic_pattern: Optional[TrafficPattern] = None,
+        preferences: Optional[UserPreferences] = None,
+    ) -> None:
+        self._sim = sim
+        self.device_id = device_id
+        self.imei = imei if imei is not None else f"imei-{device_id}"
+        self.profile = profile
+        self.preferences = preferences if preferences is not None else UserPreferences()
+        self.mobility = mobility if mobility is not None else StaticMobility(Point(0.0, 0.0))
+        self.battery = Battery(
+            capacity_mah=profile.battery_mah,
+            voltage_v=profile.battery_voltage_v,
+            initial_level_pct=initial_battery_pct,
+        )
+        self.ledger = EnergyLedger()
+        self.modem = RadioModem(sim, radio_profile, device_id, tail_policy)
+        self.modem.add_energy_listener(self._on_radio_energy)
+        device_rng = sim.rng.stream(f"device:{device_id}")
+        self.sensors = SensorSuite(
+            device_rng,
+            equipped=set(profile.sensors),
+            pressure_bias_hpa=device_rng.uniform(-1.0, 1.0),
+        )
+        pattern = traffic_pattern if traffic_pattern is not None else TrafficPattern()
+        self.traffic = BackgroundTraffic(
+            sim, self, pattern, sim.rng.stream(f"traffic:{device_id}")
+        )
+        self._samples_taken = 0
+
+    # ------------------------------------------------------------------
+    # Identity & location
+    # ------------------------------------------------------------------
+
+    @property
+    def imei_hash(self) -> str:
+        """SHA-256 of the IMEI — all the server side ever sees."""
+        return hashlib.sha256(self.imei.encode("utf-8")).hexdigest()
+
+    def position(self) -> Point:
+        """Current location from the mobility model."""
+        return self.mobility.position_at(self._sim.now)
+
+    # ------------------------------------------------------------------
+    # Sensing
+    # ------------------------------------------------------------------
+
+    @property
+    def samples_taken(self) -> int:
+        return self._samples_taken
+
+    def sample(self, sensor_type: SensorType) -> SensorReading:
+        """Acquire one reading; charges sensing energy to crowdsensing."""
+        reading = self.sensors.sample(sensor_type, self._sim.now)
+        self._samples_taken += 1
+        self.ledger.charge(
+            TrafficCategory.CROWDSENSING, reading.energy_j, "sensor_sample"
+        )
+        self.battery.drain(reading.energy_j)
+        return reading
+
+    # ------------------------------------------------------------------
+    # Energy views
+    # ------------------------------------------------------------------
+
+    def crowdsensing_energy_j(self) -> float:
+        """Joules attributed to crowdsensing so far (the paper's metric)."""
+        return self.ledger.crowdsensing_j()
+
+    def crowdsensing_battery_pct(self) -> float:
+        """Crowdsensing energy as a % of this device's battery capacity."""
+        return self.battery.percent_of_capacity(self.crowdsensing_energy_j())
+
+    def over_energy_budget(self) -> bool:
+        return self.crowdsensing_energy_j() >= self.preferences.energy_budget_j
+
+    def below_critical_battery(self) -> bool:
+        return self.battery.level_pct <= self.preferences.critical_battery_pct
+
+    def _on_radio_energy(
+        self, category: TrafficCategory, joules: float, reason: str
+    ) -> None:
+        self.ledger.charge(category, joules, reason)
+        self.battery.drain(joules)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<SimDevice {self.device_id} {self.profile.model} "
+            f"battery={self.battery.level_pct:.1f}% "
+            f"cs_energy={self.crowdsensing_energy_j():.2f}J>"
+        )

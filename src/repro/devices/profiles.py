@@ -1,0 +1,89 @@
+"""Device model catalogue.
+
+Table 1's optional ``device_type`` parameter lets a task target a
+particular phone model; the catalogue gives the population a realistic
+mix and provides per-model battery sizes and sensor complements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List
+
+from repro.devices.sensors import SensorType
+
+_FULL_SUITE = frozenset(SensorType)
+_NO_BAROMETER = frozenset(s for s in SensorType if s is not SensorType.BAROMETER)
+
+
+@dataclass(frozen=True)
+class DeviceProfile:
+    """Hardware characteristics of one phone model."""
+
+    model: str
+    battery_mah: float
+    battery_voltage_v: float
+    sensors: FrozenSet[SensorType] = field(default=_FULL_SUITE)
+
+    def __post_init__(self) -> None:
+        if self.battery_mah <= 0 or self.battery_voltage_v <= 0:
+            raise ValueError("battery rating must be positive")
+
+
+GALAXY_S4 = DeviceProfile(
+    model="Galaxy S4", battery_mah=2600.0, battery_voltage_v=3.8
+)
+
+#: The reference battery the paper normalises its 2% line against.
+NOMINAL_PHONE = DeviceProfile(
+    model="Nominal", battery_mah=1800.0, battery_voltage_v=3.82
+)
+
+DEVICE_PROFILES: Dict[str, DeviceProfile] = {
+    p.model: p
+    for p in (
+        GALAXY_S4,
+        NOMINAL_PHONE,
+        DeviceProfile("iPhone 6", 1810.0, 3.82),
+        DeviceProfile("LG G2", 3000.0, 3.8),
+        DeviceProfile("Nexus 5", 2300.0, 3.8),
+        # A budget model without a barometer — exercises the paper's
+        # "device does not have the sensor required by the task"
+        # disqualification.
+        DeviceProfile("Moto E", 1980.0, 3.8, sensors=_NO_BAROMETER),
+    )
+}
+
+
+def profile_by_model(model: str) -> DeviceProfile:
+    try:
+        return DEVICE_PROFILES[model]
+    except KeyError:
+        raise KeyError(
+            f"unknown device model {model!r}; available: {sorted(DEVICE_PROFILES)}"
+        ) from None
+
+
+def population_mix(count: int, *, barometer_fraction: float = 1.0) -> List[DeviceProfile]:
+    """A deterministic round-robin mix of ``count`` device profiles.
+
+    ``barometer_fraction`` < 1.0 mixes in barometer-less models; the
+    user-study experiments use 1.0 (every participant's phone had the
+    needed sensor).
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count!r}")
+    if not 0.0 <= barometer_fraction <= 1.0:
+        raise ValueError("barometer_fraction must be in [0, 1]")
+    with_baro = [p for p in DEVICE_PROFILES.values() if SensorType.BAROMETER in p.sensors]
+    without_baro = [
+        p for p in DEVICE_PROFILES.values() if SensorType.BAROMETER not in p.sensors
+    ]
+    with_baro.sort(key=lambda p: p.model)
+    without_baro.sort(key=lambda p: p.model)
+    result: List[DeviceProfile] = []
+    for i in range(count):
+        want_barometer = (i + 1) / count <= barometer_fraction if count else True
+        pool = with_baro if (want_barometer or not without_baro) else without_baro
+        result.append(pool[i % len(pool)])
+    return result

@@ -1,0 +1,150 @@
+"""Smartphone sensors and their power draws.
+
+Power figures are the Samsung Galaxy S4 numbers the paper quotes from
+Warden's survey: accelerometer 21 mW, gyroscope 130 mW, barometer
+110 mW, GPS 176 mW, microphone 101 mW, camera >1000 mW.  Readings are
+synthetic but physically plausible — the barometer, the one sensor the
+user study exercises, produces sea-level-ish pressure with slow
+weather drift and per-sample noise.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, Optional
+
+
+class SensorType(Enum):
+    """Sensor ids mirroring the Android sensor taxonomy the paper uses."""
+
+    ACCELEROMETER = 1
+    GYROSCOPE = 4
+    BAROMETER = 6
+    GPS = 100
+    MICROPHONE = 101
+    CAMERA = 102
+    MAGNETOMETER = 2
+    THERMOMETER = 13
+    HYGROMETER = 12
+    LIGHT = 5
+
+
+@dataclass(frozen=True)
+class SensorSpec:
+    """Power and timing characteristics of one sensor."""
+
+    sensor_type: SensorType
+    power_mw: float
+    sample_time_s: float
+
+    def sample_energy_j(self) -> float:
+        """Energy of one sample: power × acquisition time."""
+        return self.power_mw / 1000.0 * self.sample_time_s
+
+
+#: Galaxy-S4 sensor power table (Warden 2015, as quoted in the paper);
+#: sample times are typical acquisition windows (GPS fixes are long).
+SENSOR_SPECS: Dict[SensorType, SensorSpec] = {
+    SensorType.ACCELEROMETER: SensorSpec(SensorType.ACCELEROMETER, 21.0, 0.1),
+    SensorType.GYROSCOPE: SensorSpec(SensorType.GYROSCOPE, 130.0, 0.1),
+    SensorType.BAROMETER: SensorSpec(SensorType.BAROMETER, 110.0, 0.2),
+    SensorType.GPS: SensorSpec(SensorType.GPS, 176.0, 10.0),
+    SensorType.MICROPHONE: SensorSpec(SensorType.MICROPHONE, 101.0, 1.0),
+    SensorType.CAMERA: SensorSpec(SensorType.CAMERA, 1200.0, 1.0),
+    SensorType.MAGNETOMETER: SensorSpec(SensorType.MAGNETOMETER, 48.0, 0.1),
+    SensorType.THERMOMETER: SensorSpec(SensorType.THERMOMETER, 30.0, 0.2),
+    SensorType.HYGROMETER: SensorSpec(SensorType.HYGROMETER, 30.0, 0.2),
+    SensorType.LIGHT: SensorSpec(SensorType.LIGHT, 15.0, 0.05),
+}
+
+
+@dataclass(frozen=True)
+class SensorReading:
+    """One sensed value with its acquisition metadata."""
+
+    sensor_type: SensorType
+    value: float
+    time: float
+    energy_j: float
+
+
+class SensorSuite:
+    """The set of sensors on one device, with a reading generator.
+
+    ``equipped`` restricts the suite (not every phone has a barometer —
+    that is one of the paper's two reasons a device can be
+    *unqualified*).
+    """
+
+    STANDARD_PRESSURE_HPA = 1013.25
+
+    def __init__(
+        self,
+        rng: random.Random,
+        equipped: Optional[set] = None,
+        *,
+        pressure_bias_hpa: float = 0.0,
+    ) -> None:
+        self._rng = rng
+        if equipped is None:
+            equipped = set(SENSOR_SPECS)
+        unknown = {s for s in equipped if s not in SENSOR_SPECS}
+        if unknown:
+            names = sorted(getattr(s, "name", repr(s)) for s in unknown)
+            raise ValueError(f"unknown sensors: {names}")
+        self._equipped = set(equipped)
+        self._pressure_bias = pressure_bias_hpa
+
+    def has(self, sensor_type: SensorType) -> bool:
+        return sensor_type in self._equipped
+
+    def equipped(self) -> set:
+        return set(self._equipped)
+
+    def spec(self, sensor_type: SensorType) -> SensorSpec:
+        self._require(sensor_type)
+        return SENSOR_SPECS[sensor_type]
+
+    def sample(self, sensor_type: SensorType, time: float) -> SensorReading:
+        """Acquire one reading; raises KeyError if the sensor is absent."""
+        self._require(sensor_type)
+        spec = SENSOR_SPECS[sensor_type]
+        return SensorReading(
+            sensor_type=sensor_type,
+            value=self._generate_value(sensor_type, time),
+            time=time,
+            energy_j=spec.sample_energy_j(),
+        )
+
+    def _require(self, sensor_type: SensorType) -> None:
+        if sensor_type not in self._equipped:
+            raise KeyError(f"device lacks sensor {sensor_type.name}")
+
+    def _generate_value(self, sensor_type: SensorType, time: float) -> float:
+        rng = self._rng
+        if sensor_type is SensorType.BAROMETER:
+            # Slow sinusoidal weather drift (~6 h period, ±3 hPa) plus
+            # instrument noise and a per-device altitude bias.
+            drift = 3.0 * math.sin(2.0 * math.pi * time / (6.0 * 3600.0))
+            noise = rng.gauss(0.0, 0.15)
+            return self.STANDARD_PRESSURE_HPA + self._pressure_bias + drift + noise
+        if sensor_type is SensorType.THERMOMETER:
+            return 22.0 + rng.gauss(0.0, 0.5)
+        if sensor_type is SensorType.HYGROMETER:
+            return 45.0 + rng.gauss(0.0, 2.0)
+        if sensor_type is SensorType.LIGHT:
+            return max(0.0, rng.gauss(400.0, 120.0))
+        if sensor_type is SensorType.ACCELEROMETER:
+            return rng.gauss(9.81, 0.05)
+        if sensor_type is SensorType.GYROSCOPE:
+            return rng.gauss(0.0, 0.02)
+        if sensor_type is SensorType.MAGNETOMETER:
+            return rng.gauss(48.0, 1.0)
+        if sensor_type is SensorType.MICROPHONE:
+            return max(20.0, rng.gauss(55.0, 8.0))
+        # GPS / camera readings are placeholders; their energy matters,
+        # the value does not.
+        return 0.0

@@ -1,0 +1,25 @@
+"""Campus environment: geometry, named sites, and user mobility.
+
+Replaces the paper's physical Purdue campus and its 60 volunteer
+students.  The four study sites (Student Union, EE, CS, University Gym)
+are placed on a planar campus map; simulated users move between
+building waypoints with a random-waypoint model, which recreates the
+two mobility effects the paper observes: the qualified-device count
+grows with the task's area radius (Fig. 7), and devices drift in and
+out of a task's region over time (the device-8 episode of Fig. 9).
+"""
+
+from repro.environment.campus import Campus, Site, default_campus
+from repro.environment.geometry import Point, distance_m
+from repro.environment.mobility import MobilityModel, RandomWaypointMobility, StaticMobility
+
+__all__ = [
+    "Campus",
+    "MobilityModel",
+    "Point",
+    "RandomWaypointMobility",
+    "Site",
+    "StaticMobility",
+    "default_campus",
+    "distance_m",
+]

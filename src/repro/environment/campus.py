@@ -1,0 +1,109 @@
+"""The campus map with the paper's four study sites.
+
+All three user-study experiments place crowdsensing tasks at one or
+more of: *Student Union*, *EE department*, *CS department*, and
+*University Gym*.  The reproduction lays these out on a 2 km × 2 km
+plane with realistic inter-building distances (a few hundred metres),
+so that the paper's radius sweep (100 m … 1000 m) spans "just this
+building" up to "most of campus".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.environment.geometry import Point
+
+STUDENT_UNION = "Student Union"
+EE_DEPARTMENT = "EE department"
+CS_DEPARTMENT = "CS department"
+UNIVERSITY_GYM = "University Gym"
+
+#: The four sites every paper experiment samples at.
+STUDY_SITES = (STUDENT_UNION, EE_DEPARTMENT, CS_DEPARTMENT, UNIVERSITY_GYM)
+
+
+@dataclass(frozen=True)
+class Site:
+    """A named campus building / gathering point."""
+
+    name: str
+    position: Point
+
+
+@dataclass
+class Campus:
+    """A bounded plane with named sites and generic waypoints."""
+
+    width_m: float
+    height_m: float
+    sites: Dict[str, Site] = field(default_factory=dict)
+    waypoints: List[Point] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.width_m <= 0 or self.height_m <= 0:
+            raise ValueError("campus dimensions must be positive")
+
+    def add_site(self, name: str, position: Point) -> Site:
+        if name in self.sites:
+            raise ValueError(f"site {name!r} already exists")
+        self._check_bounds(position)
+        site = Site(name, position)
+        self.sites[name] = site
+        return site
+
+    def add_waypoint(self, position: Point) -> None:
+        self._check_bounds(position)
+        self.waypoints.append(position)
+
+    def site(self, name: str) -> Site:
+        try:
+            return self.sites[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown site {name!r}; available: {sorted(self.sites)}"
+            ) from None
+
+    def all_waypoints(self) -> Sequence[Point]:
+        """Every mobility destination: named sites plus extra waypoints."""
+        return [site.position for site in self.sites.values()] + list(self.waypoints)
+
+    def contains(self, point: Point) -> bool:
+        return 0.0 <= point.x <= self.width_m and 0.0 <= point.y <= self.height_m
+
+    def _check_bounds(self, position: Point) -> None:
+        if not self.contains(position):
+            raise ValueError(f"{position!r} is outside the campus bounds")
+
+
+def default_campus() -> Campus:
+    """The reproduction's stand-in for the Purdue campus.
+
+    Sites sit a few hundred metres apart near the campus core, with a
+    ring of secondary waypoints (dorms, dining, library, parking) that
+    users also visit — those are what pull users outside small task
+    radii.
+    """
+    campus = Campus(width_m=3000.0, height_m=3000.0)
+    campus.add_site(STUDENT_UNION, Point(1500.0, 1650.0))
+    campus.add_site(EE_DEPARTMENT, Point(1875.0, 1425.0))
+    campus.add_site(CS_DEPARTMENT, Point(1275.0, 1350.0))
+    campus.add_site(UNIVERSITY_GYM, Point(1650.0, 2325.0))
+    # Secondary destinations (dorms, dining, library, parking) spread
+    # toward the campus edges; they are what pulls users outside small
+    # task radii around the study sites.
+    for point in (
+        Point(400.0, 450.0),
+        Point(750.0, 2550.0),
+        Point(2625.0, 2475.0),
+        Point(2700.0, 600.0),
+        Point(2250.0, 1800.0),
+        Point(450.0, 1500.0),
+        Point(1500.0, 375.0),
+        Point(975.0, 825.0),
+        Point(2100.0, 900.0),
+        Point(1350.0, 2775.0),
+    ):
+        campus.add_waypoint(point)
+    return campus

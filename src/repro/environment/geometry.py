@@ -1,0 +1,57 @@
+"""Planar geometry for the campus map.
+
+Campus scale (a couple of kilometres) is small enough that a flat
+x/y metre grid is an accurate stand-in for geodesic coordinates.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Point:
+    """A position on the campus plane, in metres."""
+
+    x: float
+    y: float
+
+    def distance_to(self, other: "Point") -> float:
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+    def within(self, center: "Point", radius_m: float) -> bool:
+        """True when the point lies inside (or on) a circle."""
+        if radius_m < 0:
+            raise ValueError(f"radius must be non-negative, got {radius_m!r}")
+        return self.distance_to(center) <= radius_m
+
+    def towards(self, other: "Point", meters: float) -> "Point":
+        """The point ``meters`` along the segment from self to other.
+
+        Clamps at ``other`` — used by mobility to step toward a
+        waypoint without overshooting.
+        """
+        total = self.distance_to(other)
+        if total == 0.0 or meters >= total:
+            return other
+        fraction = meters / total
+        return Point(
+            self.x + (other.x - self.x) * fraction,
+            self.y + (other.y - self.y) * fraction,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Point({self.x:.1f}, {self.y:.1f})"
+
+
+def distance_m(a: Point, b: Point) -> float:
+    """Distance between two points in metres."""
+    return a.distance_to(b)
+
+
+def interpolate(a: Point, b: Point, fraction: float) -> Point:
+    """Linear interpolation between two points, ``fraction`` in [0, 1]."""
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError(f"fraction must be in [0, 1], got {fraction!r}")
+    return Point(a.x + (b.x - a.x) * fraction, a.y + (b.y - a.y) * fraction)

@@ -1,0 +1,24 @@
+"""Reproductions of every table and figure in the paper's evaluation.
+
+Each module exposes a ``run(...)`` returning structured results and a
+``main()`` that prints the paper-style rows.  The per-experiment index
+lives in DESIGN.md; paper-vs-measured numbers live in EXPERIMENTS.md.
+"""
+
+from repro.experiments.common import (
+    ArmResult,
+    ScenarioConfig,
+    TaskParams,
+    run_pcs_arm,
+    run_periodic_arm,
+    run_sense_aid_arm,
+)
+
+__all__ = [
+    "ArmResult",
+    "ScenarioConfig",
+    "TaskParams",
+    "run_pcs_arm",
+    "run_periodic_arm",
+    "run_sense_aid_arm",
+]

@@ -1,0 +1,192 @@
+"""Experiment 2 — impact of the sampling period (Figs. 10, 11).
+
+Setup (paper Table 2): 2-hour tests, one task, spatial density 3,
+radius 500 m around the CS department, sampling period swept over
+{1, 5, 10} minutes.
+
+Reproduced artifacts:
+
+- **Fig. 10** — devices selected per test: Sense-Aid selects exactly
+  the spatial density (3) regardless of period; Periodic and PCS task
+  every qualified device.
+- **Fig. 11** — average energy per participating device falls as the
+  period grows; Sense-Aid stays far below PCS and Periodic, and at the
+  1-minute period every framework's most-loaded devices approach or
+  exceed the 2% budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.energy import savings_pct
+from repro.analysis.tables import format_table
+from repro.core.config import ServerMode
+from repro.devices.battery import TWO_PERCENT_BUDGET_J
+from repro.experiments.common import (
+    ArmResult,
+    ScenarioConfig,
+    TaskParams,
+    run_pcs_arm,
+    run_periodic_arm,
+    run_sense_aid_arm,
+)
+
+PERIODS_S = (60.0, 300.0, 600.0)
+TEST_DURATION_S = 2 * 3600.0
+SPATIAL_DENSITY = 3
+AREA_RADIUS_M = 500.0
+
+
+@dataclass(frozen=True)
+class PeriodPoint:
+    period_s: float
+    periodic: ArmResult
+    pcs: ArmResult
+    basic: ArmResult
+    complete: ArmResult
+
+    def selected_counts(self) -> Dict[str, float]:
+        """Fig. 10: mean devices used per request, per framework."""
+        return {
+            "periodic": self.periodic.mean_participants(),
+            "pcs": self.pcs.mean_participants(),
+            "sense-aid": self.basic.mean_participants(),
+        }
+
+    def energy_per_device(self) -> Dict[str, float]:
+        """Fig. 11: mean Joules per participating device."""
+        return {
+            "periodic": self.periodic.mean_energy_per_active_device_j(),
+            "pcs": self.pcs.mean_energy_per_active_device_j(),
+            "basic": self.basic.mean_energy_per_active_device_j(),
+            "complete": self.complete.mean_energy_per_active_device_j(),
+        }
+
+    def savings_row(self) -> Dict[str, float]:
+        e_per = self.periodic.energy.total_j
+        e_pcs = self.pcs.energy.total_j
+        return {
+            "basic_vs_periodic": savings_pct(self.basic.energy.total_j, e_per),
+            "complete_vs_periodic": savings_pct(self.complete.energy.total_j, e_per),
+            "basic_vs_pcs": savings_pct(self.basic.energy.total_j, e_pcs),
+            "complete_vs_pcs": savings_pct(self.complete.energy.total_j, e_pcs),
+        }
+
+
+@dataclass
+class Experiment2Result:
+    points: List[PeriodPoint]
+
+    def fig10_rows(self) -> List[Tuple[str, float, float, float]]:
+        rows = []
+        for p in self.points:
+            counts = p.selected_counts()
+            rows.append(
+                (
+                    f"{p.period_s / 60:.0f} min",
+                    counts["periodic"],
+                    counts["pcs"],
+                    counts["sense-aid"],
+                )
+            )
+        return rows
+
+    def fig11_rows(self) -> List[Tuple[str, float, float, float, float]]:
+        rows = []
+        for p in self.points:
+            energy = p.energy_per_device()
+            rows.append(
+                (
+                    f"{p.period_s / 60:.0f} min",
+                    energy["periodic"],
+                    energy["pcs"],
+                    energy["basic"],
+                    energy["complete"],
+                )
+            )
+        return rows
+
+
+def _task(period_s: float) -> TaskParams:
+    return TaskParams(
+        area_radius_m=AREA_RADIUS_M,
+        spatial_density=SPATIAL_DENSITY,
+        sampling_period_s=period_s,
+        sampling_duration_s=TEST_DURATION_S,
+    )
+
+
+def run(
+    config: Optional[ScenarioConfig] = None,
+    periods_s: Sequence[float] = PERIODS_S,
+) -> Experiment2Result:
+    if config is None:
+        config = ScenarioConfig()
+    points = []
+    for period in periods_s:
+        tasks = [_task(period)]
+        points.append(
+            PeriodPoint(
+                period_s=period,
+                periodic=run_periodic_arm(config, tasks),
+                pcs=run_pcs_arm(config, tasks),
+                basic=run_sense_aid_arm(config, tasks, ServerMode.BASIC),
+                complete=run_sense_aid_arm(config, tasks, ServerMode.COMPLETE),
+            )
+        )
+    return Experiment2Result(points=points)
+
+
+def main(config: Optional[ScenarioConfig] = None) -> str:
+    result = run(config)
+    lines = []
+    lines.append(
+        format_table(
+            ["period", "Periodic", "PCS", "Sense-Aid"],
+            result.fig10_rows(),
+            title=(
+                "Figure 10 — devices selected per request "
+                f"(minimum required: {SPATIAL_DENSITY})"
+            ),
+        )
+    )
+    lines.append("")
+    lines.append(
+        format_table(
+            ["period", "Periodic (J)", "PCS (J)", "SA-Basic (J)", "SA-Complete (J)"],
+            result.fig11_rows(),
+            title=(
+                "Figure 11 — mean energy per participating device "
+                f"(2% budget bar = {TWO_PERCENT_BUDGET_J:.0f} J)"
+            ),
+        )
+    )
+    lines.append("")
+    savings_rows = []
+    for point in result.points:
+        s = point.savings_row()
+        savings_rows.append(
+            (
+                f"{point.period_s / 60:.0f} min",
+                f"{s['basic_vs_periodic']:.1f}%",
+                f"{s['complete_vs_periodic']:.1f}%",
+                f"{s['basic_vs_pcs']:.1f}%",
+                f"{s['complete_vs_pcs']:.1f}%",
+            )
+        )
+    lines.append(
+        format_table(
+            ["period", "B/Periodic", "C/Periodic", "B/PCS", "C/PCS"],
+            savings_rows,
+            title="Experiment 2 — Sense-Aid energy savings per sampling period",
+        )
+    )
+    output = "\n".join(lines)
+    print(output)
+    return output
+
+
+if __name__ == "__main__":
+    main()

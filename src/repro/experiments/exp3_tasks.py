@@ -1,0 +1,187 @@
+"""Experiment 3 — impact of concurrent tasks per device (Figs. 12, 13).
+
+Setup (paper Table 2): 90-minute tests, 5-minute sampling period,
+spatial density 3, radius 500 m; the number of concurrent tasks sweeps
+{3, 5, 10, 15}.  Concurrent tasks come from independent applications,
+so their sampling instants are staggered across the period rather than
+ticking in lockstep.
+
+Reproduced artifacts:
+
+- **Fig. 12** — devices selected: Periodic/PCS task all qualified
+  devices for every task; Sense-Aid schedules the multiple tasks over
+  the limited pool of qualified devices (so selected counts track the
+  pool, not density × tasks).
+- **Fig. 13** — energy per device rises with the task count for every
+  framework, but Sense-Aid's rises far more slowly because pending
+  assignments amortise: any radio burst flushes a device's whole
+  backlog.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.energy import savings_pct
+from repro.analysis.tables import format_table
+from repro.core.config import ServerMode
+from repro.experiments.common import (
+    ArmResult,
+    ScenarioConfig,
+    TaskParams,
+    run_pcs_arm,
+    run_periodic_arm,
+    run_sense_aid_arm,
+)
+
+TASK_COUNTS = (3, 5, 10, 15)
+TEST_DURATION_S = 90 * 60.0
+SAMPLING_PERIOD_S = 5 * 60.0
+SPATIAL_DENSITY = 3
+AREA_RADIUS_M = 500.0
+
+
+@dataclass(frozen=True)
+class TaskCountPoint:
+    task_count: int
+    periodic: ArmResult
+    pcs: ArmResult
+    basic: ArmResult
+    complete: ArmResult
+
+    def selected_counts(self) -> Dict[str, float]:
+        return {
+            "periodic": self.periodic.mean_participants(),
+            "pcs": self.pcs.mean_participants(),
+            "sense-aid": self.basic.mean_participants(),
+        }
+
+    def energy_per_device(self) -> Dict[str, float]:
+        return {
+            "periodic": self.periodic.mean_energy_per_active_device_j(),
+            "pcs": self.pcs.mean_energy_per_active_device_j(),
+            "basic": self.basic.mean_energy_per_active_device_j(),
+            "complete": self.complete.mean_energy_per_active_device_j(),
+        }
+
+    def savings_row(self) -> Dict[str, float]:
+        e_per = self.periodic.energy.total_j
+        e_pcs = self.pcs.energy.total_j
+        return {
+            "basic_vs_periodic": savings_pct(self.basic.energy.total_j, e_per),
+            "complete_vs_periodic": savings_pct(self.complete.energy.total_j, e_per),
+            "basic_vs_pcs": savings_pct(self.basic.energy.total_j, e_pcs),
+            "complete_vs_pcs": savings_pct(self.complete.energy.total_j, e_pcs),
+        }
+
+
+@dataclass
+class Experiment3Result:
+    points: List[TaskCountPoint]
+
+    def fig12_rows(self) -> List[Tuple[int, float, float, float]]:
+        rows = []
+        for p in self.points:
+            counts = p.selected_counts()
+            rows.append(
+                (p.task_count, counts["periodic"], counts["pcs"], counts["sense-aid"])
+            )
+        return rows
+
+    def fig13_rows(self) -> List[Tuple[int, float, float, float, float]]:
+        rows = []
+        for p in self.points:
+            energy = p.energy_per_device()
+            rows.append(
+                (
+                    p.task_count,
+                    energy["periodic"],
+                    energy["pcs"],
+                    energy["basic"],
+                    energy["complete"],
+                )
+            )
+        return rows
+
+
+def _tasks(count: int) -> List[TaskParams]:
+    """``count`` concurrent tasks, staggered across one period."""
+    return [
+        TaskParams(
+            area_radius_m=AREA_RADIUS_M,
+            spatial_density=SPATIAL_DENSITY,
+            sampling_period_s=SAMPLING_PERIOD_S,
+            sampling_duration_s=TEST_DURATION_S,
+            start_offset_s=i * SAMPLING_PERIOD_S / count,
+        )
+        for i in range(count)
+    ]
+
+
+def run(
+    config: Optional[ScenarioConfig] = None,
+    task_counts: Sequence[int] = TASK_COUNTS,
+) -> Experiment3Result:
+    if config is None:
+        config = ScenarioConfig()
+    points = []
+    for count in task_counts:
+        tasks = _tasks(count)
+        points.append(
+            TaskCountPoint(
+                task_count=count,
+                periodic=run_periodic_arm(config, tasks),
+                pcs=run_pcs_arm(config, tasks),
+                basic=run_sense_aid_arm(config, tasks, ServerMode.BASIC),
+                complete=run_sense_aid_arm(config, tasks, ServerMode.COMPLETE),
+            )
+        )
+    return Experiment3Result(points=points)
+
+
+def main(config: Optional[ScenarioConfig] = None) -> str:
+    result = run(config)
+    lines = []
+    lines.append(
+        format_table(
+            ["tasks", "Periodic", "PCS", "Sense-Aid"],
+            result.fig12_rows(),
+            title="Figure 12 — devices selected per request vs concurrent tasks",
+        )
+    )
+    lines.append("")
+    lines.append(
+        format_table(
+            ["tasks", "Periodic (J)", "PCS (J)", "SA-Basic (J)", "SA-Complete (J)"],
+            result.fig13_rows(),
+            title="Figure 13 — mean energy per participating device vs concurrent tasks",
+        )
+    )
+    lines.append("")
+    savings_rows = []
+    for point in result.points:
+        s = point.savings_row()
+        savings_rows.append(
+            (
+                point.task_count,
+                f"{s['basic_vs_periodic']:.1f}%",
+                f"{s['complete_vs_periodic']:.1f}%",
+                f"{s['basic_vs_pcs']:.1f}%",
+                f"{s['complete_vs_pcs']:.1f}%",
+            )
+        )
+    lines.append(
+        format_table(
+            ["tasks", "B/Periodic", "C/Periodic", "B/PCS", "C/PCS"],
+            savings_rows,
+            title="Experiment 3 — Sense-Aid energy savings vs concurrent tasks",
+        )
+    )
+    output = "\n".join(lines)
+    print(output)
+    return output
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,144 @@
+"""Figure 14 — Sense-Aid vs PCS at different prediction accuracies.
+
+The paper's three main experiments pin PCS at the 40% top-1-app
+accuracy observed by Lane et al.; Fig. 14 then asks how good the
+predictor would have to be for PCS to win.  The paper's energy cost
+model assumes a *correct* prediction always yields a piggyback
+opportunity, so we run PCS in ``oracle_sessions`` mode here (the
+predicted session materialises somewhere in the window) and sweep the
+accuracy from 40% to the 100% ideal.
+
+Expected shape: at realistic accuracies PCS costs a multiple of
+Sense-Aid; only near-perfect prediction lets PCS undercut Sense-Aid
+(the paper's ideal-PCS points are 75.8% of Basic's and 85% of
+Complete's energy) — which is the paper's argument that purely local
+decisions need an implausibly good personalised model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.analysis.tables import format_table
+from repro.core.config import ServerMode
+from repro.experiments.common import (
+    ScenarioConfig,
+    TaskParams,
+    run_pcs_arm,
+    run_sense_aid_arm,
+)
+
+ACCURACIES = (0.40, 0.50, 0.60, 0.70, 0.80, 0.90, 0.95, 1.00)
+TEST_DURATION_S = 2 * 3600.0
+SAMPLING_PERIOD_S = 5 * 60.0
+SPATIAL_DENSITY = 3
+AREA_RADIUS_M = 500.0
+
+
+@dataclass(frozen=True)
+class AccuracyPoint:
+    accuracy: float
+    pcs_energy_per_device_j: float
+    ratio_vs_basic: float
+    ratio_vs_complete: float
+
+
+@dataclass
+class Figure14Result:
+    basic_energy_per_device_j: float
+    complete_energy_per_device_j: float
+    points: List[AccuracyPoint]
+
+    def crossover_accuracy(self, *, against: str = "basic") -> Optional[float]:
+        """The lowest swept accuracy at which PCS beats Sense-Aid."""
+        target = 1.0
+        for point in self.points:
+            ratio = (
+                point.ratio_vs_basic if against == "basic" else point.ratio_vs_complete
+            )
+            if ratio < target:
+                return point.accuracy
+        return None
+
+
+def _task() -> TaskParams:
+    return TaskParams(
+        area_radius_m=AREA_RADIUS_M,
+        spatial_density=SPATIAL_DENSITY,
+        sampling_period_s=SAMPLING_PERIOD_S,
+        sampling_duration_s=TEST_DURATION_S,
+    )
+
+
+def run(
+    config: Optional[ScenarioConfig] = None,
+    accuracies: Sequence[float] = ACCURACIES,
+) -> Figure14Result:
+    if config is None:
+        config = ScenarioConfig()
+    tasks = [_task()]
+    basic = run_sense_aid_arm(config, tasks, ServerMode.BASIC)
+    complete = run_sense_aid_arm(config, tasks, ServerMode.COMPLETE)
+    basic_j = basic.mean_energy_per_active_device_j()
+    complete_j = complete.mean_energy_per_active_device_j()
+    points = []
+    for accuracy in accuracies:
+        pcs = run_pcs_arm(config, tasks, accuracy=accuracy, oracle_sessions=True)
+        pcs_j = pcs.mean_energy_per_active_device_j()
+        points.append(
+            AccuracyPoint(
+                accuracy=accuracy,
+                pcs_energy_per_device_j=pcs_j,
+                ratio_vs_basic=pcs_j / basic_j if basic_j else float("inf"),
+                ratio_vs_complete=pcs_j / complete_j if complete_j else float("inf"),
+            )
+        )
+    return Figure14Result(
+        basic_energy_per_device_j=basic_j,
+        complete_energy_per_device_j=complete_j,
+        points=points,
+    )
+
+
+def main(config: Optional[ScenarioConfig] = None) -> str:
+    result = run(config)
+    rows: List[Tuple[str, float, float, float]] = [
+        (
+            f"{p.accuracy:.0%}",
+            p.pcs_energy_per_device_j,
+            p.ratio_vs_basic,
+            p.ratio_vs_complete,
+        )
+        for p in result.points
+    ]
+    lines = [
+        format_table(
+            ["accuracy", "PCS J/device", "vs SA-Basic", "vs SA-Complete"],
+            rows,
+            title=(
+                "Figure 14 — PCS energy vs prediction accuracy "
+                f"(SA-Basic {result.basic_energy_per_device_j:.1f} J/device, "
+                f"SA-Complete {result.complete_energy_per_device_j:.1f} J/device)"
+            ),
+            float_format="{:.2f}",
+        )
+    ]
+    basic_cross = result.crossover_accuracy(against="basic")
+    complete_cross = result.crossover_accuracy(against="complete")
+    lines.append("")
+    lines.append(
+        "crossover (PCS cheaper than SA-Basic): "
+        + (f"{basic_cross:.0%}" if basic_cross is not None else "never in sweep")
+    )
+    lines.append(
+        "crossover (PCS cheaper than SA-Complete): "
+        + (f"{complete_cross:.0%}" if complete_cross is not None else "never in sweep")
+    )
+    output = "\n".join(lines)
+    print(output)
+    return output
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,120 @@
+"""Seed-robustness extension: how stable are the headline savings?
+
+The paper's numbers come from one live user study; a simulation can do
+better and quantify run-to-run variance.  This experiment repeats the
+representative campaign (radius 1000 m, density 2, 10-minute period,
+90 minutes) over several independently seeded worlds and reports the
+mean ± spread of every savings comparison — evidence that the
+reproduction's conclusions don't hinge on one lucky world.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.analysis.energy import savings_pct
+from repro.analysis.tables import format_table
+from repro.core.config import ServerMode
+from repro.experiments.common import (
+    ScenarioConfig,
+    TaskParams,
+    run_pcs_arm,
+    run_periodic_arm,
+    run_sense_aid_arm,
+)
+
+DEFAULT_SEEDS = tuple(range(7, 17))
+
+TASK = TaskParams(
+    area_radius_m=1000.0,
+    spatial_density=2,
+    sampling_period_s=600.0,
+    sampling_duration_s=5400.0,
+)
+
+COMPARISONS = (
+    "basic_vs_periodic",
+    "complete_vs_periodic",
+    "basic_vs_pcs",
+    "complete_vs_pcs",
+)
+
+
+@dataclass(frozen=True)
+class RobustnessStats:
+    """Savings distribution for one comparison across seeds."""
+
+    comparison: str
+    mean_pct: float
+    std_pct: float
+    min_pct: float
+    max_pct: float
+    samples: int
+
+
+def run(seeds: Sequence[int] = DEFAULT_SEEDS) -> List[RobustnessStats]:
+    if not seeds:
+        raise ValueError("need at least one seed")
+    per_comparison: Dict[str, List[float]] = {key: [] for key in COMPARISONS}
+    for seed in seeds:
+        config = ScenarioConfig(seed=seed)
+        tasks = [TASK]
+        periodic = run_periodic_arm(config, tasks).energy.total_j
+        pcs = run_pcs_arm(config, tasks).energy.total_j
+        basic = run_sense_aid_arm(config, tasks, ServerMode.BASIC).energy.total_j
+        complete = run_sense_aid_arm(
+            config, tasks, ServerMode.COMPLETE
+        ).energy.total_j
+        per_comparison["basic_vs_periodic"].append(savings_pct(basic, periodic))
+        per_comparison["complete_vs_periodic"].append(
+            savings_pct(complete, periodic)
+        )
+        per_comparison["basic_vs_pcs"].append(savings_pct(basic, pcs))
+        per_comparison["complete_vs_pcs"].append(savings_pct(complete, pcs))
+    results = []
+    for key in COMPARISONS:
+        values = per_comparison[key]
+        mean = sum(values) / len(values)
+        variance = sum((v - mean) ** 2 for v in values) / len(values)
+        results.append(
+            RobustnessStats(
+                comparison=key,
+                mean_pct=mean,
+                std_pct=math.sqrt(variance),
+                min_pct=min(values),
+                max_pct=max(values),
+                samples=len(values),
+            )
+        )
+    return results
+
+
+def main(seed: int = 7) -> str:
+    """Seed argument anchors the range: seeds ``seed .. seed+9``."""
+    stats = run(seeds=tuple(range(seed, seed + 10)))
+    table = format_table(
+        ["comparison", "mean", "std", "min", "max", "worlds"],
+        [
+            (
+                s.comparison,
+                f"{s.mean_pct:.1f}%",
+                f"{s.std_pct:.1f}",
+                f"{s.min_pct:.1f}%",
+                f"{s.max_pct:.1f}%",
+                s.samples,
+            )
+            for s in stats
+        ],
+        title=(
+            "Robustness extension — savings across independently seeded "
+            "worlds (radius 1 km, density 2, 10-min period, 90 min)"
+        ),
+    )
+    print(table)
+    return table
+
+
+if __name__ == "__main__":
+    main()

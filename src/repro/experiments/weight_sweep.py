@@ -1,0 +1,114 @@
+"""Selector-weight sensitivity extension: fairness vs energy.
+
+The paper fixes α, β, γ, φ "configurable" but never maps the trade
+space.  This extension sweeps the fairness weight β against the
+radio-opportunism weight φ and charts the frontier: β-heavy selectors
+spread load evenly (high Jain index) but sometimes pick cold radios;
+φ-heavy selectors chase warm radios (lower energy) but concentrate
+load.  The default weights sit on the knee.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.analysis.fairness import jain_index
+from repro.analysis.tables import format_table
+from repro.core.config import SelectorWeights, ServerMode
+from repro.experiments.common import ScenarioConfig, TaskParams, run_sense_aid_arm
+
+TASK = TaskParams(
+    area_radius_m=1000.0,
+    spatial_density=2,
+    sampling_period_s=600.0,
+    sampling_duration_s=5400.0,
+)
+
+#: (label, weights) sweep from fairness-only to TTL-only.
+DEFAULT_SWEEP: Tuple[Tuple[str, SelectorWeights], ...] = (
+    ("fairness-only", SelectorWeights(alpha=0.0, beta=1.0, gamma=0.0, phi=0.0)),
+    ("default", SelectorWeights()),
+    ("balanced", SelectorWeights(beta=0.5, phi=0.0015)),
+    ("ttl-leaning", SelectorWeights(beta=0.2, phi=0.003)),
+    ("ttl-only", SelectorWeights(alpha=0.0, beta=0.0, gamma=0.0, phi=1.0)),
+)
+
+
+@dataclass(frozen=True)
+class WeightPoint:
+    """One weight setting's outcome."""
+
+    label: str
+    total_energy_j: float
+    jain: float
+    max_selections: int
+    devices_used: int
+    data_points: int
+
+
+def run(
+    config: Optional[ScenarioConfig] = None,
+    sweep: Sequence[Tuple[str, SelectorWeights]] = DEFAULT_SWEEP,
+    *,
+    worlds: int = 10,
+) -> List[WeightPoint]:
+    """Average each weight setting over ``worlds`` seeded worlds —
+    single-world energies swing by one forced upload (~13 J)."""
+    if worlds < 1:
+        raise ValueError("worlds must be positive")
+    if config is None:
+        config = ScenarioConfig()
+    points = []
+    for label, weights in sweep:
+        energies, jains, max_sels, used, data = [], [], [], [], []
+        for offset in range(worlds):
+            arm = run_sense_aid_arm(
+                config.with_seed(config.seed + offset),
+                [TASK],
+                ServerMode.COMPLETE,
+                weights=weights,
+            )
+            counts = arm.extras["server"].selections_per_device()
+            energies.append(arm.energy.total_j)
+            jains.append(jain_index(counts.values()))
+            max_sels.append(max(counts.values()) if counts else 0)
+            used.append(len(counts))
+            data.append(arm.data_points)
+        n = float(worlds)
+        points.append(
+            WeightPoint(
+                label=label,
+                total_energy_j=sum(energies) / n,
+                jain=sum(jains) / n,
+                max_selections=round(sum(max_sels) / n),
+                devices_used=round(sum(used) / n),
+                data_points=round(sum(data) / n),
+            )
+        )
+    return points
+
+
+def main(config: Optional[ScenarioConfig] = None) -> str:
+    points = run(config)
+    table = format_table(
+        ["weights", "energy (J)", "Jain", "max sel", "devices", "data"],
+        [
+            (
+                p.label,
+                p.total_energy_j,
+                f"{p.jain:.3f}",
+                p.max_selections,
+                p.devices_used,
+                p.data_points,
+            )
+            for p in points
+        ],
+        title="Selector-weight sweep — the fairness/energy trade space",
+    )
+    print(table)
+    return table
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,104 @@
+"""Dynamic tasks that adapt their requirements to the received data.
+
+Paper §8 (ongoing work): "dynamic tasks that can alter their
+requirements based on received data."  The natural instance for a
+weather campaign: when recent readings disagree (high spatial
+variance — something interesting is happening), raise the task's
+spatial density to get a finer picture; when they agree, lower it back
+toward the minimum and save everyone's battery.
+
+:class:`AdaptiveDensityController` plugs into an application server's
+data stream and drives ``update_task_param()`` automatically.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, List, Optional
+
+from repro.core.server import SensedDataPoint
+from repro.serverlib.appserver import CrowdsensingAppServer
+
+
+@dataclass(frozen=True)
+class DensityChange:
+    """One adaptation decision, for auditing/tests."""
+
+    time: float
+    observed_std: float
+    old_density: int
+    new_density: int
+
+
+class AdaptiveDensityController:
+    """Adjusts a task's spatial density from reading variance."""
+
+    def __init__(
+        self,
+        app: CrowdsensingAppServer,
+        task_id: int,
+        *,
+        min_density: int = 2,
+        max_density: int = 6,
+        raise_std_threshold: float = 1.0,
+        lower_std_threshold: float = 0.3,
+        window: int = 6,
+    ) -> None:
+        if not 1 <= min_density <= max_density:
+            raise ValueError("need 1 <= min_density <= max_density")
+        if lower_std_threshold >= raise_std_threshold:
+            raise ValueError("lower threshold must be below raise threshold")
+        if window < 2:
+            raise ValueError("window must hold at least 2 readings")
+        self._app = app
+        self._task_id = task_id
+        self._min = min_density
+        self._max = max_density
+        self._raise_at = raise_std_threshold
+        self._lower_at = lower_std_threshold
+        self._window: Deque[float] = deque(maxlen=window)
+        self.changes: List[DensityChange] = []
+
+    @property
+    def task_id(self) -> int:
+        return self._task_id
+
+    def current_density(self) -> int:
+        return self._app._senseaid.tasks.get(self._task_id).spatial_density
+
+    def on_data(self, point: SensedDataPoint) -> None:
+        """Feed every delivered reading through this hook."""
+        if point.task_id != self._task_id:
+            return
+        self._window.append(point.value)
+        if len(self._window) < self._window.maxlen:
+            return
+        std = self._std()
+        density = self.current_density()
+        if std > self._raise_at and density < self._max:
+            self._set_density(point.delivered_at, std, density, density + 1)
+        elif std < self._lower_at and density > self._min:
+            self._set_density(point.delivered_at, std, density, density - 1)
+
+    def observed_std(self) -> Optional[float]:
+        """Std-dev of the current window, or None if not yet full."""
+        if len(self._window) < self._window.maxlen:
+            return None
+        return self._std()
+
+    def _std(self) -> float:
+        values = list(self._window)
+        mean = sum(values) / len(values)
+        variance = sum((v - mean) ** 2 for v in values) / len(values)
+        return math.sqrt(variance)
+
+    def _set_density(
+        self, time: float, std: float, old: int, new: int
+    ) -> None:
+        self._app.update_task_param(self._task_id, spatial_density=new)
+        self.changes.append(
+            DensityChange(time=time, observed_std=std, old_density=old, new_density=new)
+        )
+        self._window.clear()

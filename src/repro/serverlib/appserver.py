@@ -1,0 +1,126 @@
+"""The crowdsensing application server endpoint (CAS).
+
+An application (a hyperlocal weather map, a traffic monitor, …) uses
+this library to describe *what* data it needs; Sense-Aid handles all
+the bookkeeping the paper calls out — tracking devices, locations and
+schedules — which in Pressurenet amounted to 37% of the app's code.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Callable, Dict, List, Optional
+
+from repro.core.server import SenseAidServer, SensedDataPoint
+from repro.core.tasks import TaskSpec
+from repro.devices.sensors import SensorType
+from repro.environment.geometry import Point
+
+
+class CrowdsensingAppServer:
+    """One crowdsensing application's server-side endpoint."""
+
+    def __init__(
+        self,
+        senseaid: SenseAidServer,
+        name: str,
+        on_data: Optional[Callable[[SensedDataPoint], None]] = None,
+    ) -> None:
+        self._senseaid = senseaid
+        self.name = name
+        self._on_data = on_data
+        self._readings: List[SensedDataPoint] = []
+        self._readings_by_task: Dict[int, List[SensedDataPoint]] = defaultdict(list)
+        self._task_ids: List[int] = []
+
+    # ------------------------------------------------------------------
+    # The paper's four-call application API
+    # ------------------------------------------------------------------
+
+    def task(
+        self,
+        sensor_type: SensorType,
+        center: Point,
+        area_radius_m: float,
+        spatial_density: int,
+        *,
+        sampling_period_s: Optional[float] = None,
+        sampling_duration_s: Optional[float] = None,
+        start_time: Optional[float] = None,
+        end_time: Optional[float] = None,
+        device_type: Optional[str] = None,
+    ) -> int:
+        """Create a crowdsensing task and push it to Sense-Aid.
+
+        Returns the task id used by ``update_task_param`` and
+        ``delete_task``.
+        """
+        spec = TaskSpec(
+            sensor_type=sensor_type,
+            center=center,
+            area_radius_m=area_radius_m,
+            spatial_density=spatial_density,
+            sampling_period_s=sampling_period_s,
+            sampling_duration_s=sampling_duration_s,
+            start_time=start_time,
+            end_time=end_time,
+            device_type=device_type,
+            origin=self.name,
+        )
+        task_id = self._senseaid.submit_task(spec, self.receive_sensed_data)
+        self._task_ids.append(task_id)
+        return task_id
+
+    def update_task_param(self, task_id: int, **changes) -> TaskSpec:
+        """Update parameters of one of this application's tasks."""
+        self._require_own_task(task_id)
+        return self._senseaid.update_task(task_id, **changes)
+
+    def delete_task(self, task_id: int) -> None:
+        """Remove one of this application's tasks from the system."""
+        self._require_own_task(task_id)
+        self._senseaid.delete_task(task_id)
+        self._task_ids.remove(task_id)
+
+    def receive_sensed_data(self, point: SensedDataPoint) -> None:
+        """Callback invoked by Sense-Aid when data arrives."""
+        self._readings.append(point)
+        self._readings_by_task[point.task_id].append(point)
+        if self._on_data is not None:
+            self._on_data(point)
+
+    # ------------------------------------------------------------------
+    # Data access
+    # ------------------------------------------------------------------
+
+    @property
+    def task_ids(self) -> List[int]:
+        return list(self._task_ids)
+
+    @property
+    def readings(self) -> List[SensedDataPoint]:
+        return list(self._readings)
+
+    def readings_for_task(self, task_id: int) -> List[SensedDataPoint]:
+        return list(self._readings_by_task.get(task_id, []))
+
+    def distinct_devices(self) -> int:
+        """How many distinct (hashed) devices contributed data."""
+        return len({p.device_hash for p in self._readings})
+
+    def mean_value(self, task_id: Optional[int] = None) -> Optional[float]:
+        """Mean sensed value, overall or for one task."""
+        points = (
+            self._readings
+            if task_id is None
+            else self._readings_by_task.get(task_id, [])
+        )
+        if not points:
+            return None
+        return sum(p.value for p in points) / len(points)
+
+    def _require_own_task(self, task_id: int) -> None:
+        if task_id not in self._task_ids:
+            raise KeyError(
+                f"task {task_id} does not belong to application {self.name!r}"
+            )

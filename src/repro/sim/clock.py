@@ -1,0 +1,49 @@
+"""Simulation clock.
+
+Time is a float number of seconds since the start of the run.  The
+clock only ever moves forward, and only the engine may advance it; all
+other components hold a read-only reference.
+"""
+
+from __future__ import annotations
+
+
+class SimClock:
+    """Monotonic simulation clock measured in seconds."""
+
+    __slots__ = ("_now",)
+
+    def __init__(self, start: float = 0.0) -> None:
+        if start < 0:
+            raise ValueError(f"clock must start at a non-negative time, got {start!r}")
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    def advance_to(self, time: float) -> None:
+        """Move the clock forward to ``time``.
+
+        Raises :class:`ValueError` on any attempt to move backwards,
+        which would indicate a corrupted event heap.
+        """
+        if time < self._now:
+            raise ValueError(
+                f"clock cannot move backwards: now={self._now!r}, requested={time!r}"
+            )
+        self._now = float(time)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<SimClock t={self._now:.6f}>"
+
+
+def minutes(value: float) -> float:
+    """Convert minutes to simulation seconds."""
+    return float(value) * 60.0
+
+
+def hours(value: float) -> float:
+    """Convert hours to simulation seconds."""
+    return float(value) * 3600.0

@@ -1,0 +1,129 @@
+"""Event primitives for the discrete-event kernel.
+
+An :class:`Event` is a callback bound to a simulation time.  Events are
+totally ordered by ``(time, priority, sequence)`` so that simultaneous
+events fire in a deterministic order: lower priority value first, then
+insertion order.  Cancellation is lazy — a cancelled event stays on the
+heap but is skipped when popped, which keeps cancellation O(1).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Optional
+
+
+class Event:
+    """A scheduled callback.
+
+    Events are created through :meth:`Simulator.schedule` (or
+    :meth:`EventQueue.push`) rather than directly.  The public surface
+    is :meth:`cancel` and the read-only properties.
+    """
+
+    __slots__ = ("time", "priority", "seq", "callback", "args", "_cancelled")
+
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        callback: Callable[..., Any],
+        args: tuple = (),
+        priority: int = 0,
+    ) -> None:
+        if time < 0:
+            raise ValueError(f"event time must be non-negative, got {time!r}")
+        self.time = float(time)
+        self.priority = priority
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self._cancelled = False
+
+    @property
+    def cancelled(self) -> bool:
+        """Whether :meth:`cancel` has been called on this event."""
+        return self._cancelled
+
+    def cancel(self) -> None:
+        """Prevent the event from firing.  Safe to call more than once."""
+        self._cancelled = True
+
+    def fire(self) -> None:
+        """Invoke the callback unless cancelled."""
+        if not self._cancelled:
+            self.callback(*self.args)
+
+    def sort_key(self) -> tuple:
+        return (self.time, self.priority, self.seq)
+
+    def __lt__(self, other: "Event") -> bool:
+        return self.sort_key() < other.sort_key()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self._cancelled else "pending"
+        name = getattr(self.callback, "__name__", repr(self.callback))
+        return f"<Event t={self.time:.3f} prio={self.priority} {name} [{state}]>"
+
+
+class EventQueue:
+    """A deterministic min-heap of :class:`Event` objects."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+        self._live = 0
+
+    def __len__(self) -> int:
+        """Number of *live* (non-cancelled) events."""
+        return self._live
+
+    def __bool__(self) -> bool:
+        return self._live > 0
+
+    def push(
+        self,
+        time: float,
+        callback: Callable[..., Any],
+        args: tuple = (),
+        priority: int = 0,
+    ) -> Event:
+        """Create and enqueue an event; returns it for cancellation."""
+        event = Event(time, next(self._counter), callback, args, priority)
+        heapq.heappush(self._heap, event)
+        self._live += 1
+        return event
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the next live event, or None if the queue is empty."""
+        self._drop_cancelled_head()
+        if not self._heap:
+            return None
+        return self._heap[0].time
+
+    def pop(self) -> Optional[Event]:
+        """Remove and return the next live event, or None if empty."""
+        self._drop_cancelled_head()
+        if not self._heap:
+            return None
+        event = heapq.heappop(self._heap)
+        self._live -= 1
+        return event
+
+    def note_cancelled(self) -> None:
+        """Adjust the live count after an external ``Event.cancel()``.
+
+        :class:`Simulator` wraps cancellation so callers normally never
+        need this.
+        """
+        if self._live > 0:
+            self._live -= 1
+
+    def clear(self) -> None:
+        self._heap.clear()
+        self._live = 0
+
+    def _drop_cancelled_head(self) -> None:
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)

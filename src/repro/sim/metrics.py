@@ -1,0 +1,133 @@
+"""Metric primitives: counters, time series, and state-residency trackers.
+
+Energy accounting in the reproduction is built on
+:class:`StateResidency`: the radio power model records how long each
+RRC state was occupied, and Joules are ``sum(power_w * residency_s)``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Optional, Tuple
+
+from repro.sim.clock import SimClock
+
+
+class Counter:
+    """A monotonically increasing named counter."""
+
+    __slots__ = ("name", "_value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value = 0.0
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def add(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease (got {amount!r})")
+        self._value += amount
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Counter {self.name}={self._value}>"
+
+
+class TimeSeries:
+    """An append-only sequence of ``(time, value)`` samples."""
+
+    __slots__ = ("name", "_samples")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._samples: List[Tuple[float, float]] = []
+
+    def record(self, time: float, value: float) -> None:
+        if self._samples and time < self._samples[-1][0]:
+            raise ValueError(
+                f"time series {self.name!r} must be recorded in time order"
+            )
+        self._samples.append((float(time), float(value)))
+
+    @property
+    def samples(self) -> List[Tuple[float, float]]:
+        return list(self._samples)
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    def last(self) -> Optional[Tuple[float, float]]:
+        return self._samples[-1] if self._samples else None
+
+
+class StateResidency:
+    """Tracks total time spent in each state of a state machine.
+
+    The tracker is driven by :meth:`transition` calls; it accumulates
+    wall-clock (simulation) residency per state label.  ``snapshot``
+    closes the books up to *now* without changing state, so energy can
+    be read mid-run.
+    """
+
+    def __init__(self, clock: SimClock, initial_state: Hashable) -> None:
+        self._clock = clock
+        self._state: Hashable = initial_state
+        self._entered_at = clock.now
+        self._residency: Dict[Hashable, float] = {}
+
+    @property
+    def state(self) -> Hashable:
+        return self._state
+
+    def transition(self, new_state: Hashable) -> None:
+        """Close residency of the current state and enter ``new_state``."""
+        now = self._clock.now
+        self._accumulate(now)
+        self._state = new_state
+        self._entered_at = now
+
+    def time_in_state(self) -> float:
+        """Seconds spent so far in the *current* state occupancy."""
+        return self._clock.now - self._entered_at
+
+    def snapshot(self) -> Dict[Hashable, float]:
+        """Residency per state including the in-progress occupancy."""
+        result = dict(self._residency)
+        current = result.get(self._state, 0.0)
+        result[self._state] = current + self.time_in_state()
+        return result
+
+    def _accumulate(self, now: float) -> None:
+        elapsed = now - self._entered_at
+        if elapsed < 0:  # pragma: no cover - guarded by SimClock
+            raise ValueError("negative residency; clock moved backwards")
+        self._residency[self._state] = self._residency.get(self._state, 0.0) + elapsed
+
+
+class MetricsRegistry:
+    """A namespace of counters and time series shared by one simulation."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._series: Dict[str, TimeSeries] = {}
+
+    def counter(self, name: str) -> Counter:
+        counter = self._counters.get(name)
+        if counter is None:
+            counter = Counter(name)
+            self._counters[name] = counter
+        return counter
+
+    def series(self, name: str) -> TimeSeries:
+        series = self._series.get(name)
+        if series is None:
+            series = TimeSeries(name)
+            self._series[name] = series
+        return series
+
+    def counter_values(self) -> Dict[str, float]:
+        return {name: c.value for name, c in self._counters.items()}
+
+    def series_names(self) -> List[str]:
+        return sorted(self._series)

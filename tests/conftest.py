@@ -1,0 +1,50 @@
+"""Shared pytest fixtures for the Sense-Aid reproduction test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cellular.enodeb import TowerRegistry, grid_towers
+from repro.cellular.network import CellularNetwork
+from repro.devices.device import SimDevice
+from repro.environment.campus import default_campus
+from repro.environment.geometry import Point
+from repro.environment.mobility import StaticMobility
+from repro.sim.engine import Simulator
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    return Simulator(seed=1234)
+
+
+@pytest.fixture
+def campus():
+    return default_campus()
+
+
+@pytest.fixture
+def registry(campus) -> TowerRegistry:
+    return TowerRegistry(grid_towers(campus.width_m, campus.height_m))
+
+
+@pytest.fixture
+def network(sim) -> CellularNetwork:
+    return CellularNetwork(sim)
+
+
+def make_device(
+    sim: Simulator,
+    device_id: str = "dev-0",
+    *,
+    position: Point = Point(1275.0, 1350.0),
+    **kwargs,
+) -> SimDevice:
+    """A stationary test device (default position: the CS department)."""
+    kwargs.setdefault("mobility", StaticMobility(position))
+    return SimDevice(sim, device_id, **kwargs)
+
+
+@pytest.fixture
+def device(sim) -> SimDevice:
+    return make_device(sim)

@@ -1,0 +1,132 @@
+"""Tests for dynamic (adaptive) tasks — paper §8 ongoing work."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.server import SensedDataPoint
+from repro.devices.sensors import SensorType
+from repro.serverlib.adaptive import AdaptiveDensityController
+from repro.serverlib.appserver import CrowdsensingAppServer
+from repro.sim.engine import Simulator
+from tests.test_core_server import CENTER, make_setup
+
+
+def make_controller(sim_devices=6, **kwargs):
+    sim = Simulator()
+    server, _, _, _ = make_setup(sim, n_devices=sim_devices)
+    app = CrowdsensingAppServer(server, "adaptive")
+    task_id = app.task(
+        SensorType.BAROMETER,
+        CENTER,
+        1000.0,
+        2,
+        sampling_period_s=600.0,
+        sampling_duration_s=7200.0,
+    )
+    controller = AdaptiveDensityController(app, task_id, **kwargs)
+    return sim, server, app, controller
+
+
+def feed(controller, values, task_id=None, t=0.0):
+    task_id = task_id if task_id is not None else controller.task_id
+    for i, value in enumerate(values):
+        controller.on_data(
+            SensedDataPoint(
+                request_id=f"r{i}",
+                task_id=task_id,
+                sensor_type=SensorType.BAROMETER,
+                value=value,
+                sensed_at=t + i,
+                delivered_at=t + i,
+                device_hash="h",
+            )
+        )
+
+
+class TestAdaptiveDensity:
+    def test_high_variance_raises_density(self):
+        sim, server, app, controller = make_controller(window=4)
+        feed(controller, [1000.0, 1010.0, 995.0, 1015.0])
+        assert controller.current_density() == 3
+        assert len(controller.changes) == 1
+        assert controller.changes[0].old_density == 2
+
+    def test_low_variance_lowers_density(self):
+        sim, server, app, controller = make_controller(window=4, min_density=1)
+        app.update_task_param(controller.task_id, spatial_density=4)
+        feed(controller, [1013.0, 1013.05, 1013.02, 1013.01])
+        assert controller.current_density() == 3
+
+    def test_moderate_variance_holds_steady(self):
+        sim, server, app, controller = make_controller(
+            window=4, raise_std_threshold=2.0, lower_std_threshold=0.1
+        )
+        feed(controller, [1013.0, 1014.0, 1013.5, 1012.8])
+        assert controller.current_density() == 2
+        assert controller.changes == []
+
+    def test_density_clamped_at_max(self):
+        sim, server, app, controller = make_controller(window=2, max_density=3)
+        for _ in range(5):
+            feed(controller, [990.0, 1030.0])
+        assert controller.current_density() == 3
+
+    def test_density_clamped_at_min(self):
+        sim, server, app, controller = make_controller(window=2, min_density=2)
+        for _ in range(5):
+            feed(controller, [1013.0, 1013.0])
+        assert controller.current_density() == 2
+
+    def test_other_tasks_ignored(self):
+        sim, server, app, controller = make_controller(window=2)
+        feed(controller, [990.0, 1030.0], task_id=controller.task_id + 999)
+        assert controller.current_density() == 2
+
+    def test_window_not_full_no_decision(self):
+        sim, server, app, controller = make_controller(window=6)
+        feed(controller, [990.0, 1030.0])
+        assert controller.observed_std() is None
+        assert controller.changes == []
+
+    def test_parameter_validation(self):
+        sim, server, app, controller = make_controller()
+        with pytest.raises(ValueError):
+            AdaptiveDensityController(app, controller.task_id, min_density=5, max_density=2)
+        with pytest.raises(ValueError):
+            AdaptiveDensityController(
+                app,
+                controller.task_id,
+                raise_std_threshold=0.1,
+                lower_std_threshold=0.5,
+            )
+        with pytest.raises(ValueError):
+            AdaptiveDensityController(app, controller.task_id, window=1)
+
+    def test_end_to_end_with_live_campaign(self):
+        """Wire the controller into a live run: the density change must
+        reach the scheduler (selection events grow wider)."""
+        sim = Simulator()
+        server, _, _, _ = make_setup(sim, n_devices=6)
+        app = CrowdsensingAppServer(server, "adaptive")
+        task_id = app.task(
+            SensorType.BAROMETER,
+            CENTER,
+            1000.0,
+            2,
+            sampling_period_s=600.0,
+            sampling_duration_s=7200.0,
+        )
+        controller = AdaptiveDensityController(
+            app,
+            task_id,
+            window=2,
+            raise_std_threshold=0.0001,
+            lower_std_threshold=0.00001,
+            max_density=4,
+        )
+        app._on_data = controller.on_data
+        sim.run(until=7300.0)
+        widths = [len(e.selected) for e in server.selection_log]
+        assert widths[0] == 2
+        assert max(widths) > 2  # the controller widened the campaign

@@ -1,0 +1,69 @@
+"""Round-trip tests for power-profile calibration."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cellular.calibration import (
+    calibration_error,
+    fit_profile,
+    generate_power_trace,
+)
+from repro.cellular.power import LTE_POWER_PROFILE, THREEG_POWER_PROFILE
+
+
+class TestTraceGeneration:
+    def test_trace_shape_and_range(self):
+        trace = generate_power_trace(
+            LTE_POWER_PROFILE, [(10.0, 600)], duration_s=40.0, dt_s=0.05
+        )
+        assert trace.shape == (800, 2)
+        assert trace[:, 1].min() == LTE_POWER_PROFILE.idle_mw
+        assert trace[:, 1].max() == LTE_POWER_PROFILE.active_mw
+
+    def test_trace_idle_before_send(self):
+        trace = generate_power_trace(
+            LTE_POWER_PROFILE, [(10.0, 600)], duration_s=40.0
+        )
+        before = trace[trace[:, 0] < 10.0]
+        assert np.all(before[:, 1] == LTE_POWER_PROFILE.idle_mw)
+
+    def test_trace_returns_to_idle(self):
+        trace = generate_power_trace(
+            LTE_POWER_PROFILE, [(10.0, 600)], duration_s=60.0
+        )
+        late = trace[trace[:, 0] > 30.0]
+        assert np.all(late[:, 1] == LTE_POWER_PROFILE.idle_mw)
+
+    def test_invalid_dt(self):
+        with pytest.raises(ValueError):
+            generate_power_trace(LTE_POWER_PROFILE, [], 10.0, dt_s=0.0)
+
+
+class TestFitting:
+    @pytest.mark.parametrize("profile", [LTE_POWER_PROFILE, THREEG_POWER_PROFILE])
+    def test_round_trip_recovers_parameters(self, profile):
+        # Large transfer so every plateau (incl. ACTIVE) is sampled.
+        trace = generate_power_trace(
+            profile, [(10.0, 500_000)], duration_s=60.0, dt_s=0.02
+        )
+        fitted = fit_profile(trace, dt_s=0.02)
+        errors = calibration_error(profile, fitted)
+        assert errors["idle_mw"] < 0.01
+        assert errors["tail_mw"] < 0.01
+        assert errors["active_mw"] < 0.01
+        assert errors["promotion_mw"] < 0.01
+        assert errors["tail_s"] < 0.05
+        assert errors["promotion_s"] < 0.25  # short plateau, coarse sampling
+
+    def test_fit_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            fit_profile(np.zeros((5, 3)))
+
+    def test_tail_duration_measured(self):
+        trace = generate_power_trace(
+            LTE_POWER_PROFILE, [(5.0, 500_000)], duration_s=60.0, dt_s=0.02
+        )
+        fitted = fit_profile(trace, dt_s=0.02)
+        assert fitted.tail_s == pytest.approx(LTE_POWER_PROFILE.tail_s, rel=0.05)

@@ -1,0 +1,86 @@
+"""Tests for the DRX cycle model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cellular.drx import DRXConfig, DRXPhase, LTE_DRX, derive_tail_parameters
+from repro.cellular.power import LTE_POWER_PROFILE
+
+
+class TestDRXPhase:
+    def test_duty_cycle(self):
+        phase = DRXPhase("p", cycle_ms=100.0, on_ms=25.0, duration_s=1.0,
+                         on_power_mw=1000.0, sleep_power_mw=200.0)
+        assert phase.duty_cycle == 0.25
+        assert phase.average_power_mw() == pytest.approx(0.25 * 1000 + 0.75 * 200)
+        assert phase.energy_j() == pytest.approx(phase.average_power_mw() / 1000.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DRXPhase("p", cycle_ms=100.0, on_ms=0.0, duration_s=1.0,
+                     on_power_mw=1000.0, sleep_power_mw=200.0)
+        with pytest.raises(ValueError):
+            DRXPhase("p", cycle_ms=100.0, on_ms=200.0, duration_s=1.0,
+                     on_power_mw=1000.0, sleep_power_mw=200.0)
+        with pytest.raises(ValueError):
+            DRXPhase("p", cycle_ms=100.0, on_ms=50.0, duration_s=1.0,
+                     on_power_mw=100.0, sleep_power_mw=200.0)
+
+    def test_always_on_phase(self):
+        phase = LTE_DRX.continuous_rx
+        assert phase.duty_cycle == 1.0
+        assert phase.average_power_mw() == phase.on_power_mw
+
+
+class TestDerivation:
+    def test_flat_tail_parameters_match_profile(self):
+        """The flat-tail approximation used everywhere must equal the
+        DRX phase structure it abstracts."""
+        tail_s, tail_mw = derive_tail_parameters(LTE_DRX)
+        assert tail_s == pytest.approx(LTE_POWER_PROFILE.tail_s)
+        assert tail_mw == pytest.approx(LTE_POWER_PROFILE.tail_mw, rel=0.005)
+
+    def test_tail_energy_consistent(self):
+        drx_energy = LTE_DRX.total_tail_energy_j()
+        flat_energy = LTE_POWER_PROFILE.tail_mw / 1000.0 * LTE_POWER_PROFILE.tail_s
+        assert drx_energy == pytest.approx(flat_energy, rel=0.005)
+
+
+class TestPhaseAt:
+    def test_phase_sequence(self):
+        assert LTE_DRX.phase_at(0.5).name == "continuous_rx"
+        assert LTE_DRX.phase_at(1.5).name == "short_drx"
+        assert LTE_DRX.phase_at(5.0).name == "long_drx"
+        assert LTE_DRX.phase_at(100.0).name == "long_drx"
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            LTE_DRX.phase_at(-1.0)
+
+
+class TestPagingDelay:
+    def test_zero_during_continuous_rx(self):
+        assert LTE_DRX.paging_delay(0.5) == 0.0
+
+    def test_zero_during_on_duration(self):
+        # Start of a short-DRX cycle is an on-duration.
+        assert LTE_DRX.paging_delay(1.0) == 0.0
+
+    def test_positive_during_sleep(self):
+        # Mid short-DRX cycle (after the 45 ms on-duration).
+        delay = LTE_DRX.paging_delay(1.0 + 0.060)
+        assert delay == pytest.approx(0.040, abs=1e-9)
+
+    def test_bounded_by_cycle(self):
+        for t in (1.05, 2.5, 5.0, 9.0, 11.0):
+            delay = LTE_DRX.paging_delay(t)
+            phase = LTE_DRX.phase_at(t)
+            assert 0.0 <= delay <= phase.cycle_ms / 1000.0
+
+    def test_long_drx_sleeps_longer_than_short(self):
+        """Deeper into the tail, pages wait longer — the latency cost
+        that motivates Sense-Aid's device-initiated control plane."""
+        short_worst = LTE_DRX.short_drx.cycle_ms - LTE_DRX.short_drx.on_ms
+        long_worst = LTE_DRX.long_drx.cycle_ms - LTE_DRX.long_drx.on_ms
+        assert long_worst > short_worst

@@ -1,0 +1,122 @@
+"""Unit tests for radio power profiles."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.cellular.power import (
+    LTE_POWER_PROFILE,
+    THREEG_POWER_PROFILE,
+    RadioPowerProfile,
+    profile_by_name,
+)
+
+
+class TestProfileValidation:
+    def test_builtin_profiles_valid(self):
+        assert LTE_POWER_PROFILE.name == "LTE"
+        assert THREEG_POWER_PROFILE.name == "3G"
+
+    def test_idle_must_be_below_tail(self):
+        with pytest.raises(ValueError):
+            dataclasses.replace(LTE_POWER_PROFILE, idle_mw=2000.0)
+
+    def test_tail_must_not_exceed_active(self):
+        with pytest.raises(ValueError):
+            dataclasses.replace(LTE_POWER_PROFILE, tail_mw=5000.0)
+
+    def test_positive_fields_enforced(self):
+        with pytest.raises(ValueError):
+            dataclasses.replace(LTE_POWER_PROFILE, promotion_s=0.0)
+
+
+class TestTransferTime:
+    def test_floor_applies_to_small_transfers(self):
+        assert LTE_POWER_PROFILE.transfer_time(600) == pytest.approx(
+            LTE_POWER_PROFILE.min_transfer_s
+        )
+
+    def test_large_transfer_scales_with_rate(self):
+        size = 10_000_000
+        expected = size * 8.0 / LTE_POWER_PROFILE.uplink_bps
+        assert LTE_POWER_PROFILE.transfer_time(size) == pytest.approx(expected)
+
+    def test_downlink_uses_downlink_rate(self):
+        size = 10_000_000
+        up = LTE_POWER_PROFILE.transfer_time(size, uplink=True)
+        down = LTE_POWER_PROFILE.transfer_time(size, uplink=False)
+        assert down < up
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            LTE_POWER_PROFILE.transfer_time(-1)
+
+
+class TestEnergyHelpers:
+    def test_promotion_energy(self):
+        p = LTE_POWER_PROFILE
+        expected = (p.promotion_mw - p.idle_mw) / 1000.0 * p.promotion_s
+        assert p.promotion_energy_j() == pytest.approx(expected)
+
+    def test_tail_energy_default_full_tail(self):
+        p = LTE_POWER_PROFILE
+        expected = (p.tail_mw - p.idle_mw) / 1000.0 * p.tail_s
+        assert p.tail_energy_j() == pytest.approx(expected)
+
+    def test_tail_energy_partial(self):
+        p = LTE_POWER_PROFILE
+        assert p.tail_energy_j(2.0) == pytest.approx(
+            (p.tail_mw - p.idle_mw) / 1000.0 * 2.0
+        )
+
+    def test_tail_energy_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            LTE_POWER_PROFILE.tail_energy_j(-1.0)
+
+    def test_active_energy_over_idle_vs_tail(self):
+        p = LTE_POWER_PROFILE
+        over_idle = p.active_energy_j(1.0)
+        over_tail = p.active_energy_j(1.0, over_tail=True)
+        assert over_idle > over_tail > 0
+
+    def test_cold_upload_energy_decomposes(self):
+        p = LTE_POWER_PROFILE
+        transfer = p.transfer_time(600)
+        expected = (
+            p.promotion_energy_j()
+            + p.active_energy_j(transfer)
+            + p.tail_energy_j()
+        )
+        assert p.cold_upload_energy_j(600) == pytest.approx(expected)
+
+    def test_cold_upload_dominated_by_tail(self):
+        """The paper's key observation: the tail dwarfs the transfer."""
+        p = LTE_POWER_PROFILE
+        assert p.tail_energy_j() > 0.8 * p.cold_upload_energy_j(600)
+
+    def test_lte_cold_upload_an_order_of_magnitude_over_piggyback(self):
+        p = LTE_POWER_PROFILE
+        piggyback = p.active_energy_j(p.transfer_time(600))
+        assert p.cold_upload_energy_j(600) > 50 * piggyback
+
+
+class TestProfileLookup:
+    def test_lookup(self):
+        assert profile_by_name("LTE") is LTE_POWER_PROFILE
+        assert profile_by_name("3G") is THREEG_POWER_PROFILE
+
+    def test_unknown_profile(self):
+        with pytest.raises(KeyError):
+            profile_by_name("5G")
+
+    def test_3g_cheaper_promotion_but_slower(self):
+        assert THREEG_POWER_PROFILE.promotion_mw < LTE_POWER_PROFILE.promotion_mw
+        assert THREEG_POWER_PROFILE.uplink_bps < LTE_POWER_PROFILE.uplink_bps
+
+    def test_lte_cold_upload_costs_more_than_3g(self):
+        """Figure 2's observation: LTE > 3G per upload."""
+        assert LTE_POWER_PROFILE.cold_upload_energy_j(
+            600
+        ) > THREEG_POWER_PROFILE.cold_upload_energy_j(600)

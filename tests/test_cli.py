@@ -1,0 +1,71 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import (
+    ALIASES,
+    RUN_ORDER,
+    available_experiments,
+    build_parser,
+    main,
+    run_experiment,
+)
+
+
+class TestResolution:
+    def test_all_run_order_names_resolve(self):
+        for name in RUN_ORDER:
+            # resolution must not raise
+            parser_name = name
+            assert parser_name in available_experiments()
+
+    def test_aliases_point_at_real_experiments(self):
+        for alias, target in ALIASES.items():
+            assert target in RUN_ORDER
+
+    def test_unknown_experiment_raises(self):
+        with pytest.raises(KeyError):
+            run_experiment("fig99")
+
+
+class TestCommands:
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in RUN_ORDER:
+            assert name in out
+
+    def test_run_fig1(self, capsys):
+        assert main(["run", "fig1"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 1" in out
+        assert "109" in out
+
+    def test_run_fig6(self, capsys):
+        assert main(["run", "fig6"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 6" in out
+
+    def test_run_alias(self, capsys):
+        assert main(["run", "fig9"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 9" in out
+
+    def test_run_unknown_fails(self, capsys):
+        assert main(["run", "fig99"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown experiment" in err
+
+    def test_seed_flag_changes_results(self, capsys):
+        main(["run", "fig9", "--seed", "7"])
+        first = capsys.readouterr().out
+        main(["run", "fig9", "--seed", "8"])
+        second = capsys.readouterr().out
+        assert first != second
+
+    def test_parser_requires_command(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args([])

@@ -1,0 +1,202 @@
+"""Unit/integration tests for the client-side library's tail machinery."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cellular.packets import TrafficCategory
+from repro.cellular.rrc import RRCState
+from repro.core.config import SenseAidConfig, ServerMode
+from repro.devices.sensors import SensorType
+from repro.sim.engine import Simulator
+from tests.test_core_server import CENTER, make_setup, make_spec
+
+
+class TestUploadOpportunities:
+    def test_idle_device_waits_then_forces_at_deadline(self):
+        sim = Simulator()
+        server, _, devices, clients = make_setup(sim, n_devices=2)
+        server.submit_task(make_spec(sampling_duration_s=600.0), lambda p: None)
+        # No background traffic, so no tail ever opens; the client
+        # must force the upload just before the deadline.
+        sim.run(until=560.0)
+        assert clients[0].stats.uploads_total == 0
+        sim.run(until=620.0)
+        assert clients[0].stats.uploads_forced == 1
+        assert server.stats.data_points == 2
+
+    def test_tail_upload_when_traffic_flows(self):
+        sim = Simulator(seed=8)
+        server, _, devices, clients = make_setup(sim, n_devices=2, start_traffic=True)
+        for device in devices:
+            # Guarantee a session well inside the window.
+            device.traffic.stop()
+        server.submit_task(make_spec(sampling_duration_s=600.0), lambda p: None)
+        sim.run(until=100.0)
+        devices[0].modem.transmit(20_000, TrafficCategory.BACKGROUND)
+        devices[1].modem.transmit(20_000, TrafficCategory.BACKGROUND)
+        sim.run(until=620.0)
+        total_tail = sum(c.stats.uploads_in_tail for c in clients)
+        assert total_tail == 2
+        assert all(c.stats.uploads_forced == 0 for c in clients)
+
+    def test_assignment_during_tail_uploads_immediately(self):
+        sim = Simulator()
+        server, _, devices, clients = make_setup(sim, n_devices=2)
+        devices[0].modem.transmit(20_000, TrafficCategory.BACKGROUND)
+        devices[1].modem.transmit(20_000, TrafficCategory.BACKGROUND)
+        sim.run(until=3.0)
+        assert devices[0].modem.in_tail
+        server.submit_task(make_spec(sampling_duration_s=600.0), lambda p: None)
+        sim.run(until=10.0)
+        assert sum(c.stats.uploads_in_tail for c in clients) == 2
+
+    def test_assignment_during_active_piggybacks(self):
+        sim = Simulator()
+        server, _, devices, clients = make_setup(sim, n_devices=2)
+        for device in devices:
+            device.modem.transmit(5_000_000, TrafficCategory.BACKGROUND)  # long
+        sim.run(until=1.0)
+        assert devices[0].modem.state is RRCState.ACTIVE
+        server.submit_task(make_spec(sampling_duration_s=600.0), lambda p: None)
+        sim.run(until=60.0)
+        assert sum(c.stats.uploads_piggybacked for c in clients) == 2
+
+    def test_forced_upload_pays_cold_cost(self):
+        sim = Simulator()
+        server, _, devices, clients = make_setup(sim, n_devices=2)
+        server.submit_task(make_spec(sampling_duration_s=600.0), lambda p: None)
+        sim.run(until=650.0)
+        device = devices[0]
+        cold = device.modem.profile.cold_upload_energy_j(600)
+        assert device.crowdsensing_energy_j() == pytest.approx(
+            cold + 0.022, rel=0.05
+        )  # + one barometer sample
+
+    def test_tail_upload_in_complete_mode_is_nearly_free(self):
+        sim = Simulator()
+        server, _, devices, clients = make_setup(
+            sim, n_devices=2, mode=ServerMode.COMPLETE
+        )
+        devices[0].modem.transmit(20_000, TrafficCategory.BACKGROUND)
+        devices[1].modem.transmit(20_000, TrafficCategory.BACKGROUND)
+        sim.run(until=3.0)
+        server.submit_task(make_spec(sampling_duration_s=600.0), lambda p: None)
+        sim.run(until=650.0)
+        upload_cost = devices[0].ledger.breakdown(TrafficCategory.CROWDSENSING)
+        assert upload_cost.get("tail_upload_no_reset", 0.0) < 0.1
+
+    def test_basic_mode_resets_tail_on_upload(self):
+        sim = Simulator()
+        server, _, devices, _ = make_setup(sim, n_devices=2, mode=ServerMode.BASIC)
+        devices[0].modem.transmit(20_000, TrafficCategory.BACKGROUND)
+        devices[1].modem.transmit(20_000, TrafficCategory.BACKGROUND)
+        sim.run(until=3.0)
+        server.submit_task(make_spec(sampling_duration_s=600.0), lambda p: None)
+        sim.run(until=650.0)
+        breakdown = devices[0].ledger.breakdown(TrafficCategory.CROWDSENSING)
+        assert "tail_upload_reset" in breakdown
+
+
+class TestStateReports:
+    def test_state_report_sent_at_tail_entry(self):
+        sim = Simulator()
+        server, _, devices, clients = make_setup(sim, n_devices=1)
+        devices[0].sample(SensorType.BAROMETER)  # spend some energy
+        devices[0].modem.transmit(600, TrafficCategory.BACKGROUND)
+        sim.run(until=5.0)
+        assert clients[0].stats.state_reports == 1
+        record = server.devices.record("d0")
+        assert record.energy_used_j == pytest.approx(
+            devices[0].crowdsensing_energy_j()
+        )
+
+    def test_state_reports_cost_no_crowdsensing_energy(self):
+        sim = Simulator()
+        server, _, devices, clients = make_setup(sim, n_devices=1)
+        devices[0].modem.transmit(600, TrafficCategory.BACKGROUND)
+        sim.run(until=60.0)
+        assert clients[0].stats.state_reports == 1
+        assert devices[0].crowdsensing_energy_j() == 0.0
+
+
+class TestDeregistration:
+    def test_pending_assignments_cancelled_on_deregister(self):
+        sim = Simulator()
+        server, _, _, clients = make_setup(sim, n_devices=2)
+        server.submit_task(make_spec(sampling_duration_s=600.0), lambda p: None)
+        sim.run(until=10.0)
+        assert clients[0].pending_count == 1
+        clients[0].deregister()
+        assert clients[0].pending_count == 0
+        sim.run(until=650.0)
+        assert clients[0].stats.uploads_total == 0
+
+
+class TestBindingAndMigration:
+    def test_bind_while_registered_rejected(self):
+        sim = Simulator()
+        server, network, _, clients = make_setup(sim, n_devices=1)
+        with pytest.raises(RuntimeError):
+            clients[0].bind_server(server)
+
+    def test_bind_after_deregister(self):
+        sim = Simulator()
+        server, network, _, clients = make_setup(sim, n_devices=1)
+        clients[0].deregister()
+        clients[0].bind_server(server)
+        clients[0].register()
+        assert clients[0].registered
+
+    def test_migrate_drops_pending_assignments(self):
+        sim = Simulator()
+        server, network, _, clients = make_setup(sim, n_devices=2)
+        server.submit_task(make_spec(sampling_duration_s=600.0), lambda p: None)
+        sim.run(until=10.0)
+        assert clients[0].pending_count == 1
+        # Second server on the same world.
+        from repro.cellular.enodeb import ENodeB, TowerRegistry
+        from repro.core.server import SenseAidServer
+
+        other = SenseAidServer(
+            sim,
+            TowerRegistry([ENodeB("t9", CENTER, coverage_radius_m=5000.0)]),
+            network,
+        )
+        clients[0].migrate(other)
+        assert clients[0].pending_count == 0
+        assert clients[0].server is other
+        assert "d0" in other.devices
+        assert "d0" not in server.devices
+        other.shutdown()
+
+    def test_migrate_unregistered_client(self):
+        sim = Simulator()
+        server, network, _, clients = make_setup(sim, n_devices=1)
+        clients[0].deregister()
+        clients[0].migrate(server)
+        assert clients[0].registered
+
+
+class TestPublicApi:
+    def test_start_sensing_returns_reading(self):
+        sim = Simulator()
+        server, _, devices, clients = make_setup(sim, n_devices=2)
+        server.submit_task(make_spec(sampling_duration_s=600.0), lambda p: None)
+        sim.run(until=10.0)
+        # grab the live pending assignment and drive the public API
+        pending = list(clients[0]._pending.values())[0]
+        reading = clients[0].start_sensing(pending.assignment)
+        assert reading.sensor_type is SensorType.BAROMETER
+
+    def test_send_sense_data_delivers(self):
+        sim = Simulator()
+        server, _, devices, clients = make_setup(sim, n_devices=2)
+        received = []
+        server.submit_task(make_spec(sampling_duration_s=600.0), received.append)
+        sim.run(until=10.0)
+        pending = list(clients[0]._pending.values())[0]
+        reading = clients[0].start_sensing(pending.assignment)
+        clients[0].send_sense_data(pending.assignment, reading)
+        sim.run(until=30.0)
+        assert len(received) == 1

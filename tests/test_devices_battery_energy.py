@@ -1,0 +1,113 @@
+"""Unit tests for the battery model and the energy ledger."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cellular.packets import TrafficCategory
+from repro.devices.battery import (
+    Battery,
+    TWO_PERCENT_BUDGET_J,
+    capacity_joules,
+)
+from repro.devices.energy import EnergyLedger
+
+
+class TestCapacity:
+    def test_nominal_capacity(self):
+        # 1800 mAh × 3.82 V = 1.8 × 3600 × 3.82 ≈ 24,753.6 J
+        assert capacity_joules(1800.0, 3.82) == pytest.approx(24753.6)
+
+    def test_two_percent_budget_is_the_papers_496j(self):
+        assert TWO_PERCENT_BUDGET_J == pytest.approx(495.07, abs=1.0)
+
+    def test_invalid_rating(self):
+        with pytest.raises(ValueError):
+            capacity_joules(0.0, 3.8)
+
+
+class TestBattery:
+    def test_full_battery(self):
+        battery = Battery()
+        assert battery.level_pct == pytest.approx(100.0)
+        assert not battery.empty
+
+    def test_partial_initial_level(self):
+        battery = Battery(initial_level_pct=50.0)
+        assert battery.level_pct == pytest.approx(50.0)
+        assert battery.remaining_j == pytest.approx(battery.capacity_j / 2)
+
+    def test_invalid_initial_level(self):
+        with pytest.raises(ValueError):
+            Battery(initial_level_pct=101.0)
+
+    def test_drain(self):
+        battery = Battery()
+        battery.drain(1000.0)
+        assert battery.drained_j == 1000.0
+        assert battery.remaining_j == pytest.approx(battery.capacity_j - 1000.0)
+
+    def test_drain_clamps_at_empty(self):
+        battery = Battery(capacity_mah=10.0, voltage_v=1.0)  # 36 J
+        battery.drain(100.0)
+        assert battery.remaining_j == 0.0
+        assert battery.empty
+        assert battery.level_pct == 0.0
+
+    def test_negative_drain_rejected(self):
+        with pytest.raises(ValueError):
+            Battery().drain(-1.0)
+
+    def test_percent_of_capacity(self):
+        battery = Battery(capacity_mah=1800.0, voltage_v=3.82)
+        assert battery.percent_of_capacity(battery.capacity_j) == pytest.approx(100.0)
+        assert battery.percent_of_capacity(0.0) == 0.0
+
+    def test_percent_of_capacity_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Battery().percent_of_capacity(-1.0)
+
+
+class TestEnergyLedger:
+    def test_charges_accumulate_per_category(self):
+        ledger = EnergyLedger()
+        ledger.charge(TrafficCategory.CROWDSENSING, 1.0, "upload")
+        ledger.charge(TrafficCategory.CROWDSENSING, 2.0, "upload")
+        ledger.charge(TrafficCategory.BACKGROUND, 5.0, "session")
+        assert ledger.crowdsensing_j() == pytest.approx(3.0)
+        assert ledger.total(TrafficCategory.BACKGROUND) == pytest.approx(5.0)
+        assert ledger.grand_total_j() == pytest.approx(8.0)
+        assert ledger.entries == 3
+
+    def test_negative_charge_rejected(self):
+        with pytest.raises(ValueError):
+            EnergyLedger().charge(TrafficCategory.CONTROL, -0.1, "bad")
+
+    def test_breakdown_by_reason(self):
+        ledger = EnergyLedger()
+        ledger.charge(TrafficCategory.CROWDSENSING, 1.0, "cold_upload")
+        ledger.charge(TrafficCategory.CROWDSENSING, 0.5, "sensor_sample")
+        ledger.charge(TrafficCategory.CROWDSENSING, 1.5, "cold_upload")
+        breakdown = ledger.breakdown(TrafficCategory.CROWDSENSING)
+        assert breakdown == {
+            "cold_upload": pytest.approx(2.5),
+            "sensor_sample": pytest.approx(0.5),
+        }
+
+    def test_breakdown_excludes_other_categories(self):
+        ledger = EnergyLedger()
+        ledger.charge(TrafficCategory.BACKGROUND, 9.0, "session")
+        assert ledger.breakdown(TrafficCategory.CROWDSENSING) == {}
+
+    def test_as_rows_sorted(self):
+        ledger = EnergyLedger()
+        ledger.charge(TrafficCategory.CROWDSENSING, 1.0, "b")
+        ledger.charge(TrafficCategory.BACKGROUND, 2.0, "a")
+        rows = ledger.as_rows()
+        assert rows[0][0] == "background"
+        assert rows[1] == ("crowdsensing", "b", 1.0)
+
+    def test_empty_ledger(self):
+        ledger = EnergyLedger()
+        assert ledger.crowdsensing_j() == 0.0
+        assert ledger.grand_total_j() == 0.0

@@ -1,0 +1,116 @@
+"""Unit tests for the sensor suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.devices.sensors import (
+    SENSOR_SPECS,
+    SensorSuite,
+    SensorType,
+)
+
+
+def make_suite(**kwargs) -> SensorSuite:
+    return SensorSuite(random.Random(42), **kwargs)
+
+
+class TestSensorSpecs:
+    def test_warden_power_table(self):
+        """The paper quotes these Galaxy-S4 figures from Warden."""
+        assert SENSOR_SPECS[SensorType.ACCELEROMETER].power_mw == 21.0
+        assert SENSOR_SPECS[SensorType.GYROSCOPE].power_mw == 130.0
+        assert SENSOR_SPECS[SensorType.BAROMETER].power_mw == 110.0
+        assert SENSOR_SPECS[SensorType.GPS].power_mw == 176.0
+        assert SENSOR_SPECS[SensorType.MICROPHONE].power_mw == 101.0
+        assert SENSOR_SPECS[SensorType.CAMERA].power_mw > 1000.0
+
+    def test_sample_energy(self):
+        spec = SENSOR_SPECS[SensorType.BAROMETER]
+        assert spec.sample_energy_j() == pytest.approx(0.110 * 0.2)
+
+    def test_gps_fix_is_expensive(self):
+        gps = SENSOR_SPECS[SensorType.GPS].sample_energy_j()
+        barometer = SENSOR_SPECS[SensorType.BAROMETER].sample_energy_j()
+        assert gps > 50 * barometer
+
+
+class TestSensorSuite:
+    def test_full_suite_by_default(self):
+        suite = make_suite()
+        for sensor in SensorType:
+            assert suite.has(sensor)
+
+    def test_restricted_suite(self):
+        suite = make_suite(equipped={SensorType.ACCELEROMETER})
+        assert suite.has(SensorType.ACCELEROMETER)
+        assert not suite.has(SensorType.BAROMETER)
+
+    def test_sampling_missing_sensor_raises(self):
+        suite = make_suite(equipped={SensorType.ACCELEROMETER})
+        with pytest.raises(KeyError):
+            suite.sample(SensorType.BAROMETER, 0.0)
+
+    def test_unknown_sensor_in_equipped_rejected(self):
+        with pytest.raises(ValueError):
+            SensorSuite(random.Random(0), equipped={"not-a-sensor"})
+
+    def test_barometer_reading_plausible(self):
+        suite = make_suite()
+        for t in (0.0, 3600.0, 7200.0):
+            reading = suite.sample(SensorType.BAROMETER, t)
+            assert 1000.0 < reading.value < 1025.0
+            assert reading.sensor_type is SensorType.BAROMETER
+            assert reading.time == t
+
+    def test_barometer_weather_drift(self):
+        """Readings hours apart must differ by more than noise alone."""
+        suite = make_suite()
+        early = [suite.sample(SensorType.BAROMETER, 0.0).value for _ in range(20)]
+        later = [
+            suite.sample(SensorType.BAROMETER, 1.5 * 3600.0).value for _ in range(20)
+        ]
+        drift = abs(sum(later) / 20 - sum(early) / 20)
+        assert drift > 1.0
+
+    def test_pressure_bias_applies(self):
+        high = SensorSuite(random.Random(1), pressure_bias_hpa=5.0)
+        low = SensorSuite(random.Random(1), pressure_bias_hpa=-5.0)
+        assert high.sample(SensorType.BAROMETER, 0.0).value > low.sample(
+            SensorType.BAROMETER, 0.0
+        ).value
+
+    def test_reading_carries_energy(self):
+        suite = make_suite()
+        reading = suite.sample(SensorType.BAROMETER, 0.0)
+        assert reading.energy_j == pytest.approx(
+            SENSOR_SPECS[SensorType.BAROMETER].sample_energy_j()
+        )
+
+    def test_spec_lookup(self):
+        suite = make_suite()
+        assert suite.spec(SensorType.GPS).power_mw == 176.0
+
+    def test_spec_lookup_missing_sensor(self):
+        suite = make_suite(equipped={SensorType.BAROMETER})
+        with pytest.raises(KeyError):
+            suite.spec(SensorType.GPS)
+
+    def test_other_sensor_values_generated(self):
+        suite = make_suite()
+        accel = suite.sample(SensorType.ACCELEROMETER, 0.0)
+        assert 9.0 < accel.value < 10.5
+        temp = suite.sample(SensorType.THERMOMETER, 0.0)
+        assert 15.0 < temp.value < 30.0
+        light = suite.sample(SensorType.LIGHT, 0.0)
+        assert light.value >= 0.0
+        mic = suite.sample(SensorType.MICROPHONE, 0.0)
+        assert mic.value >= 20.0
+
+    def test_equipped_returns_copy(self):
+        suite = make_suite(equipped={SensorType.BAROMETER})
+        equipped = suite.equipped()
+        equipped.add(SensorType.GPS)
+        assert not suite.has(SensorType.GPS)

@@ -1,0 +1,225 @@
+"""Unit tests for geometry, campus, mobility, and population."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.devices.sensors import SensorType
+from repro.environment.campus import (
+    CS_DEPARTMENT,
+    STUDY_SITES,
+    Campus,
+    default_campus,
+)
+from repro.environment.geometry import Point, distance_m, interpolate
+from repro.environment.mobility import RandomWaypointMobility, StaticMobility
+from repro.environment.population import PopulationConfig, build_population
+from repro.sim.engine import Simulator
+
+
+class TestGeometry:
+    def test_distance(self):
+        assert distance_m(Point(0, 0), Point(3, 4)) == 5.0
+
+    def test_within(self):
+        assert Point(3, 4).within(Point(0, 0), 5.0)
+        assert not Point(3, 4).within(Point(0, 0), 4.9)
+
+    def test_within_negative_radius(self):
+        with pytest.raises(ValueError):
+            Point(0, 0).within(Point(0, 0), -1.0)
+
+    def test_towards_partial(self):
+        result = Point(0, 0).towards(Point(10, 0), 4.0)
+        assert result == Point(4.0, 0.0)
+
+    def test_towards_clamps_at_target(self):
+        assert Point(0, 0).towards(Point(10, 0), 50.0) == Point(10, 0)
+
+    def test_towards_same_point(self):
+        assert Point(1, 1).towards(Point(1, 1), 5.0) == Point(1, 1)
+
+    def test_interpolate(self):
+        assert interpolate(Point(0, 0), Point(10, 20), 0.5) == Point(5.0, 10.0)
+
+    def test_interpolate_bounds(self):
+        with pytest.raises(ValueError):
+            interpolate(Point(0, 0), Point(1, 1), 1.5)
+
+
+class TestCampus:
+    def test_default_campus_has_study_sites(self):
+        campus = default_campus()
+        for name in STUDY_SITES:
+            assert campus.site(name).name == name
+
+    def test_sites_are_spread_realistically(self):
+        """Study sites sit a few hundred metres apart (not kilometres)."""
+        campus = default_campus()
+        positions = [campus.site(name).position for name in STUDY_SITES]
+        for i, a in enumerate(positions):
+            for b in positions[i + 1 :]:
+                assert 100.0 < a.distance_to(b) < 1500.0
+
+    def test_waypoints_include_sites(self):
+        campus = default_campus()
+        waypoints = campus.all_waypoints()
+        assert campus.site(CS_DEPARTMENT).position in waypoints
+        assert len(waypoints) > len(STUDY_SITES)
+
+    def test_duplicate_site_rejected(self):
+        campus = Campus(100.0, 100.0)
+        campus.add_site("x", Point(1, 1))
+        with pytest.raises(ValueError):
+            campus.add_site("x", Point(2, 2))
+
+    def test_out_of_bounds_rejected(self):
+        campus = Campus(100.0, 100.0)
+        with pytest.raises(ValueError):
+            campus.add_site("x", Point(200, 0))
+        with pytest.raises(ValueError):
+            campus.add_waypoint(Point(-1, 0))
+
+    def test_unknown_site(self):
+        with pytest.raises(KeyError):
+            default_campus().site("Chemistry")
+
+    def test_contains(self):
+        campus = Campus(100.0, 100.0)
+        assert campus.contains(Point(50, 50))
+        assert not campus.contains(Point(101, 50))
+
+
+class TestStaticMobility:
+    def test_never_moves(self):
+        mobility = StaticMobility(Point(5, 5))
+        assert mobility.position_at(0.0) == Point(5, 5)
+        assert mobility.position_at(1e6) == Point(5, 5)
+
+
+class TestRandomWaypointMobility:
+    def _make(self, seed=1, **kwargs):
+        campus = default_campus()
+        return RandomWaypointMobility(
+            campus.site(CS_DEPARTMENT).position,
+            campus.all_waypoints(),
+            random.Random(seed),
+            **kwargs,
+        )
+
+    def test_starts_at_home(self):
+        mobility = self._make()
+        home = default_campus().site(CS_DEPARTMENT).position
+        assert mobility.position_at(0.0) == home
+
+    def test_positions_stay_reasonable(self):
+        mobility = self._make()
+        campus = default_campus()
+        for t in range(0, 4 * 3600, 300):
+            p = mobility.position_at(float(t))
+            assert campus.contains(p)
+
+    def test_movement_happens(self):
+        mobility = self._make(mean_pause_s=60.0)
+        home = default_campus().site(CS_DEPARTMENT).position
+        positions = {
+            (round(mobility.position_at(float(t)).x), round(mobility.position_at(float(t)).y))
+            for t in range(0, 2 * 3600, 60)
+        }
+        assert len(positions) > 3  # actually wandered
+
+    def test_speed_is_walking_pace(self):
+        mobility = self._make()
+        assert 0.9 <= mobility.speed_mps <= 1.7
+
+    def test_continuity(self):
+        """Positions one second apart can differ by at most the speed."""
+        mobility = self._make(mean_pause_s=30.0)
+        prev = mobility.position_at(0.0)
+        for t in range(1, 600):
+            cur = mobility.position_at(float(t))
+            assert prev.distance_to(cur) <= mobility.speed_mps + 1e-6
+            prev = cur
+
+    def test_deterministic_for_seed(self):
+        a = self._make(seed=9).position_at(1234.0)
+        b = self._make(seed=9).position_at(1234.0)
+        assert a == b
+
+    def test_non_monotone_queries_allowed(self):
+        mobility = self._make()
+        late = mobility.position_at(3600.0)
+        early = mobility.position_at(60.0)
+        again = mobility.position_at(3600.0)
+        assert late == again
+
+    def test_empty_waypoints_rejected(self):
+        with pytest.raises(ValueError):
+            RandomWaypointMobility(Point(0, 0), [], random.Random(1))
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            self._make().position_at(-1.0)
+
+    def test_invalid_home_bias(self):
+        with pytest.raises(ValueError):
+            self._make(home_bias=2.0)
+
+
+class TestPopulation:
+    def test_population_size(self):
+        sim = Simulator(seed=3)
+        devices = build_population(sim, default_campus(), PopulationConfig(size=20))
+        assert len(devices) == 20
+        assert len({d.device_id for d in devices}) == 20
+
+    def test_battery_levels_in_range(self):
+        sim = Simulator(seed=3)
+        config = PopulationConfig(size=30, min_battery_pct=60.0, max_battery_pct=90.0)
+        devices = build_population(sim, default_campus(), config, start_traffic=False)
+        for device in devices:
+            assert 60.0 <= device.battery.level_pct <= 90.0
+
+    def test_identical_across_simulators_with_same_seed(self):
+        campus = default_campus()
+        a = build_population(Simulator(seed=11), campus, PopulationConfig(size=5))
+        b = build_population(Simulator(seed=11), campus, PopulationConfig(size=5))
+        for da, db in zip(a, b):
+            assert da.profile.model == db.profile.model
+            assert da.battery.level_pct == db.battery.level_pct
+            assert da.mobility.position_at(1000.0) == db.mobility.position_at(1000.0)
+
+    def test_every_device_has_barometer_by_default(self):
+        sim = Simulator(seed=3)
+        devices = build_population(sim, default_campus(), PopulationConfig(size=12))
+        assert all(d.sensors.has(SensorType.BAROMETER) for d in devices)
+
+    def test_barometer_fraction_mixes_in_unequipped(self):
+        sim = Simulator(seed=3)
+        config = PopulationConfig(size=10, barometer_fraction=0.5)
+        devices = build_population(sim, default_campus(), config, start_traffic=False)
+        without = [d for d in devices if not d.sensors.has(SensorType.BAROMETER)]
+        assert len(without) >= 3
+
+    def test_site_homes_cluster_users(self):
+        sim = Simulator(seed=3)
+        campus = default_campus()
+        config = PopulationConfig(size=20, site_home_fraction=1.0)
+        devices = build_population(sim, campus, config, start_traffic=False)
+        site_positions = {(s.position.x, s.position.y) for s in campus.sites.values()}
+        at_sites = sum(
+            1
+            for d in devices
+            if (d.position().x, d.position().y) in site_positions
+        )
+        assert at_sites == 20  # everyone starts at a study site
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            PopulationConfig(size=0)
+        with pytest.raises(ValueError):
+            PopulationConfig(min_battery_pct=90.0, max_battery_pct=50.0)
+        with pytest.raises(ValueError):
+            PopulationConfig(site_home_fraction=1.5)

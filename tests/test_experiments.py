@@ -1,0 +1,258 @@
+"""Integration tests: the reproduced experiments exhibit the paper's shapes.
+
+These tests run the actual experiment harness (smaller sweeps where the
+full sweep would be slow) and assert the qualitative results the paper
+reports — who wins, in which direction trends move, and fairness.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import ServerMode
+from repro.devices.battery import TWO_PERCENT_BUDGET_J
+from repro.experiments import exp1_radius, exp2_period, exp3_tasks, pcs_accuracy
+from repro.experiments import power_case_study, survey, tailtime
+from repro.experiments.common import (
+    ScenarioConfig,
+    TaskParams,
+    run_pcs_arm,
+    run_periodic_arm,
+    run_sense_aid_arm,
+)
+
+CONFIG = ScenarioConfig(seed=7)
+
+
+@pytest.fixture(scope="module")
+def exp1_result():
+    return exp1_radius.run(CONFIG, radii_m=(100.0, 500.0, 1000.0))
+
+
+@pytest.fixture(scope="module")
+def exp2_result():
+    return exp2_period.run(CONFIG, periods_s=(60.0, 600.0))
+
+
+@pytest.fixture(scope="module")
+def exp3_result():
+    return exp3_tasks.run(CONFIG, task_counts=(3, 10))
+
+
+class TestSurvey:
+    def test_distribution_sums_to_one(self):
+        assert sum(survey.SURVEY_DISTRIBUTION.values()) == pytest.approx(1.0)
+
+    def test_published_anchors(self):
+        assert survey.SURVEY_DISTRIBUTION["up to 2%"] == pytest.approx(0.414)
+        assert survey.SURVEY_DISTRIBUTION["over 10%"] == 0.0
+
+    def test_respondent_counts_total(self):
+        buckets = survey.run()
+        assert sum(b.respondents for b in buckets) == survey.RESPONDENTS
+
+    def test_majority_tolerates_at_most_2pct(self):
+        assert survey.majority_tolerance_pct() > 50.0
+
+
+class TestPowerCaseStudy:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return power_case_study.run()
+
+    def test_every_configuration_exceeds_budget(self, rows):
+        """Paper: 'In all cases the energy consumption is more than
+        what the majority of the users would expect (2%).'"""
+        assert all(r.over_2pct_budget for r in rows)
+
+    def test_lte_costs_more_than_3g(self, rows):
+        by_key = {(r.app, r.update_period_label, r.radio): r.energy_j for r in rows}
+        for app in ("Pressurenet", "WeatherSignal"):
+            for period in ("5 min", "10 min"):
+                assert by_key[(app, period, "LTE")] > by_key[(app, period, "3G")]
+
+    def test_weathersignal_hungrier_than_pressurenet(self, rows):
+        by_key = {(r.app, r.update_period_label, r.radio): r.energy_j for r in rows}
+        for period in ("5 min", "10 min"):
+            for radio in ("3G", "LTE"):
+                assert (
+                    by_key[("WeatherSignal", period, radio)]
+                    > by_key[("Pressurenet", period, radio)]
+                )
+
+    def test_equal_update_counts(self, rows):
+        assert len({r.updates for r in rows}) == 1
+
+
+class TestTailTime:
+    def test_no_reset_idles_on_schedule(self):
+        result = tailtime.run(reset_tail=False)
+        # Paper: burst at 591 s, idle around 602.5 s (~11.5 s connected).
+        assert result.connected_stretch_s == pytest.approx(11.9, abs=0.5)
+
+    def test_reset_extends_connection(self):
+        no_reset = tailtime.run(reset_tail=False)
+        reset = tailtime.run(reset_tail=True)
+        assert reset.idle_at > no_reset.idle_at
+        assert reset.crowdsensing_energy_j > 10 * no_reset.crowdsensing_energy_j
+
+    def test_strip_shows_tail(self):
+        result = tailtime.run(reset_tail=False)
+        assert "t" in result.ascii_strip
+        assert "A" in result.ascii_strip
+
+
+class TestExperiment1(object):
+    def test_fig7_qualified_grows_with_radius(self, exp1_result):
+        counts = [p.qualified_mean for p in exp1_result.points]
+        assert counts == sorted(counts)
+        assert counts[-1] > counts[0]
+
+    def test_fig7_about_eleven_qualified_at_1km(self, exp1_result):
+        """Paper Fig. 9 narrative: ~11 qualified users at 1000 m."""
+        assert 8.0 <= exp1_result.points[-1].qualified_mean <= 16.0
+
+    def test_fig8_sense_aid_beats_pcs_everywhere(self, exp1_result):
+        for point in exp1_result.points:
+            assert point.complete.energy.total_j <= point.basic.energy.total_j
+            assert point.basic.energy.total_j < point.pcs.energy.total_j
+            assert point.pcs.energy.total_j < point.periodic.energy.total_j
+
+    def test_fig8_gap_widens_with_radius(self, exp1_result):
+        """Paper: 'The benefit of Sense-Aid increases as the area radius
+        increases.'"""
+        savings = [p.savings_row()["complete_vs_pcs"] for p in exp1_result.points]
+        assert savings[-1] > savings[0]
+
+    def test_fig9_selection_is_fair(self, exp1_result):
+        counts = exp1_result.fairness_counts
+        total = sum(counts.values())
+        assert total == 2 * len(exp1_result.fairness_log)
+        # Paper: each device selected once or twice over the 9 rounds.
+        assert max(counts.values()) - min(counts.values()) <= 1
+
+    def test_fig9_nine_selection_rounds(self, exp1_result):
+        assert len(exp1_result.fairness_log) == 9
+
+    def test_savings_within_plausible_band(self, exp1_result):
+        """Not paper-exact, but the same order: >50% at large radii."""
+        last = exp1_result.points[-1].savings_row()
+        assert last["complete_vs_periodic"] > 85.0
+        assert last["complete_vs_pcs"] > 80.0
+
+
+class TestExperiment2:
+    def test_fig10_sense_aid_selects_exactly_density(self, exp2_result):
+        for point in exp2_result.points:
+            assert point.basic.mean_participants() == pytest.approx(
+                exp2_period.SPATIAL_DENSITY
+            )
+
+    def test_fig10_baselines_use_all_qualified(self, exp2_result):
+        for point in exp2_result.points:
+            assert point.periodic.mean_participants() > exp2_period.SPATIAL_DENSITY
+
+    def test_fig11_energy_falls_with_period(self, exp2_result):
+        for name in ("periodic", "pcs", "basic", "complete"):
+            energies = [p.energy_per_device()[name] for p in exp2_result.points]
+            assert energies[0] > energies[-1]
+
+    def test_fig11_sense_aid_cheapest_at_every_period(self, exp2_result):
+        for point in exp2_result.points:
+            energy = point.energy_per_device()
+            assert energy["complete"] <= energy["basic"]
+            assert energy["basic"] < energy["pcs"]
+            assert energy["pcs"] <= energy["periodic"] * 1.05
+
+    def test_fig11_one_minute_period_breaks_budget_for_baselines(self, exp2_result):
+        """Paper: at the 1-minute period the network activity is too
+        frequent — baseline users blow past the 2% budget (the mean
+        dilutes across briefly-qualified users; the loaded devices are
+        the ones the paper's participants correspond to)."""
+        one_minute = exp2_result.points[0]
+        assert one_minute.periodic.energy.max_per_device_j > TWO_PERCENT_BUDGET_J
+        assert one_minute.pcs.energy.max_per_device_j > TWO_PERCENT_BUDGET_J
+        assert one_minute.periodic.energy.devices_over_2pct() >= 3
+        # Sense-Aid keeps even its most-used device under budget.
+        assert one_minute.complete.energy.max_per_device_j < TWO_PERCENT_BUDGET_J
+
+
+class TestExperiment3:
+    def test_fig13_energy_rises_with_task_count(self, exp3_result):
+        for name in ("periodic", "pcs", "basic", "complete"):
+            energies = [p.energy_per_device()[name] for p in exp3_result.points]
+            assert energies[-1] > energies[0]
+
+    def test_fig13_sense_aid_cheapest(self, exp3_result):
+        for point in exp3_result.points:
+            energy = point.energy_per_device()
+            assert energy["complete"] <= energy["basic"] < energy["pcs"]
+
+    def test_savings_grow_with_concurrency(self, exp3_result):
+        """Paper: 'the maximum benefit occurs with multiple crowdsensing
+        tasks scheduled on the same device.'"""
+        savings = [p.savings_row()["complete_vs_pcs"] for p in exp3_result.points]
+        assert savings[-1] > savings[0]
+
+    def test_fig12_baselines_task_all_qualified(self, exp3_result):
+        for point in exp3_result.points:
+            assert point.periodic.mean_participants() > exp3_tasks.SPATIAL_DENSITY
+
+
+class TestFigure14:
+    @pytest.fixture(scope="class")
+    def fig14(self):
+        return pcs_accuracy.run(CONFIG, accuracies=(0.40, 1.00))
+
+    def test_pcs_energy_decreases_with_accuracy(self, fig14):
+        energies = [p.pcs_energy_per_device_j for p in fig14.points]
+        assert energies[0] > energies[-1]
+
+    def test_realistic_pcs_much_worse_than_sense_aid(self, fig14):
+        at_40 = fig14.points[0]
+        assert at_40.ratio_vs_basic > 1.3
+        assert at_40.ratio_vs_complete > 1.5
+
+    def test_ideal_pcs_beats_sense_aid(self, fig14):
+        """Paper: with 100% accuracy PCS can out-perform both variants."""
+        ideal = fig14.points[-1]
+        assert ideal.ratio_vs_basic < 1.0
+        assert ideal.ratio_vs_complete < 1.0
+
+
+class TestWorldIdenticalAcrossArms:
+    def test_same_seed_same_population(self):
+        tasks = [TaskParams(sampling_duration_s=600.0)]
+        a = run_periodic_arm(CONFIG, tasks)
+        b = run_pcs_arm(CONFIG, tasks)
+        pos_a = {d.device_id: (d.position().x, d.position().y) for d in a.devices}
+        pos_b = {d.device_id: (d.position().x, d.position().y) for d in b.devices}
+        assert pos_a == pos_b
+
+    def test_deterministic_rerun(self):
+        tasks = [TaskParams(sampling_duration_s=600.0)]
+        first = run_sense_aid_arm(CONFIG, tasks, ServerMode.COMPLETE)
+        second = run_sense_aid_arm(CONFIG, tasks, ServerMode.COMPLETE)
+        assert first.energy.total_j == pytest.approx(second.energy.total_j)
+        assert first.data_points == second.data_points
+
+
+class TestNoOrchestrationAblation:
+    def test_select_all_still_beats_pcs(self):
+        """Paper: 'Selecting all qualified devices in Sense-Aid still
+        saves energy compared to PCS' — the tail-riding alone helps."""
+        tasks = [
+            TaskParams(
+                area_radius_m=1000.0,
+                spatial_density=2,
+                sampling_period_s=600.0,
+                sampling_duration_s=5400.0,
+            )
+        ]
+        select_all = run_sense_aid_arm(
+            CONFIG, tasks, ServerMode.COMPLETE, select_all_qualified=True
+        )
+        pcs = run_pcs_arm(CONFIG, tasks)
+        orchestrated = run_sense_aid_arm(CONFIG, tasks, ServerMode.COMPLETE)
+        assert select_all.energy.total_j < pcs.energy.total_j
+        assert orchestrated.energy.total_j < select_all.energy.total_j

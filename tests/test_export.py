@@ -1,0 +1,78 @@
+"""Tests for CSV export of experiment results."""
+
+from __future__ import annotations
+
+import csv
+import io
+
+import pytest
+
+from repro.analysis.export import (
+    exp1_to_csv,
+    exp2_to_csv,
+    fig14_to_csv,
+    rows_to_csv,
+    selection_log_to_csv,
+    write_csv,
+)
+from repro.experiments import exp1_radius, exp2_period, pcs_accuracy
+from repro.experiments.common import ScenarioConfig
+
+CONFIG = ScenarioConfig(seed=7)
+
+
+def parse(text):
+    return list(csv.reader(io.StringIO(text)))
+
+
+class TestRowsToCsv:
+    def test_basic(self):
+        text = rows_to_csv(["a", "b"], [(1, 2), (3, 4)])
+        assert parse(text) == [["a", "b"], ["1", "2"], ["3", "4"]]
+
+    def test_quoting(self):
+        text = rows_to_csv(["x"], [("value, with comma",)])
+        assert parse(text)[1] == ["value, with comma"]
+
+    def test_width_mismatch(self):
+        with pytest.raises(ValueError):
+            rows_to_csv(["a"], [(1, 2)])
+
+    def test_write_csv(self, tmp_path):
+        path = str(tmp_path / "out.csv")
+        write_csv(path, ["a"], [(1,), (2,)])
+        with open(path) as f:
+            assert parse(f.read()) == [["a"], ["1"], ["2"]]
+
+
+class TestExperimentExports:
+    @pytest.fixture(scope="class")
+    def exp1(self):
+        return exp1_radius.run(CONFIG, radii_m=(100.0, 1000.0))
+
+    def test_exp1_csv(self, exp1):
+        rows = parse(exp1_to_csv(exp1))
+        assert rows[0][0] == "radius_m"
+        assert len(rows) == 3
+        assert float(rows[1][0]) == 100.0
+        # Sense-Aid Complete column below PCS column at 1000 m.
+        assert float(rows[2][5]) < float(rows[2][3])
+
+    def test_selection_log_csv(self, exp1):
+        text = selection_log_to_csv(exp1.fairness_log)
+        rows = parse(text)
+        assert rows[0] == ["time_s", "request_id", "qualified", "selected"]
+        assert len(rows) == 1 + len(exp1.fairness_log)
+        assert ";" in rows[1][3] or rows[1][3]  # selected ids joined
+
+    def test_exp2_csv(self):
+        result = exp2_period.run(CONFIG, periods_s=(600.0,))
+        rows = parse(exp2_to_csv(result))
+        assert len(rows) == 2
+        assert rows[0][0] == "period_s"
+
+    def test_fig14_csv(self):
+        result = pcs_accuracy.run(CONFIG, accuracies=(0.4, 1.0))
+        rows = parse(fig14_to_csv(result))
+        assert len(rows) == 3
+        assert float(rows[1][1]) > float(rows[2][1])  # energy falls

@@ -1,0 +1,188 @@
+"""Failure-handling tests: server crash, fail-safe routing, recovery,
+unresponsive devices, and epoch resets."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cellular.network import CellularNetwork
+from repro.cellular.packets import TrafficCategory, sensor_data_message, Message, MessageKind
+from repro.core.config import SenseAidConfig, ServerMode
+from repro.sim.engine import Simulator
+from tests.test_core_server import CENTER, make_setup, make_spec
+
+
+class TestServerCrash:
+    def test_crash_stops_orchestration(self):
+        sim = Simulator()
+        server, _, _, _ = make_setup(sim, n_devices=3)
+        server.submit_task(
+            make_spec(sampling_period_s=600.0, sampling_duration_s=3600.0),
+            lambda p: None,
+        )
+        sim.run(until=700.0)
+        issued_before = server.stats.requests_issued
+        server.crash()
+        sim.run(until=2500.0)
+        assert server.stats.requests_issued == issued_before
+        assert server.stats.requests_lost_to_crash >= 2
+
+    def test_crash_reroutes_to_path1(self):
+        """The paper's fail-safe: path 1 if Sense-Aid server crashes."""
+        sim = Simulator()
+        server, network, devices, _ = make_setup(sim, n_devices=1)
+        assert network.route_for(sensor_data_message("d0", {})) == "path2"
+        server.crash()
+        assert network.route_for(sensor_data_message("d0", {})) == "path1"
+
+    def test_background_traffic_unaffected_by_crash(self):
+        sim = Simulator()
+        server, network, devices, _ = make_setup(sim, n_devices=1)
+        server.crash()
+        msg = Message(MessageKind.APP_TRAFFIC, "d0", 1000)
+        delivered = []
+        network.uplink(devices[0], msg, on_delivered=lambda m, r: delivered.append(r))
+        sim.run(until=30.0)
+        assert len(delivered) == 1
+        assert delivered[0].path == "path1"
+
+    def test_recovery_resumes_scheduling(self):
+        sim = Simulator()
+        server, _, _, _ = make_setup(sim, n_devices=3)
+        data = []
+        server.submit_task(
+            make_spec(
+                spatial_density=2,
+                sampling_period_s=600.0,
+                sampling_duration_s=3600.0,
+            ),
+            data.append,
+        )
+        sim.run(until=700.0)
+        assert server.stats.requests_scheduled == 2
+        server.crash()
+        sim.run(until=1900.0)  # the 1200 s and 1800 s instants are lost
+        assert server.stats.requests_lost_to_crash == 2
+        data_during_crash = [p for p in data if 700.0 < p.delivered_at <= 1900.0]
+        assert data_during_crash == []
+        server.recover()
+        sim.run(until=3700.0)
+        # The remaining instants (issued at 2400 and 3000) resume.
+        assert server.stats.requests_scheduled == 4
+        resumed = [p for p in data if p.delivered_at > 1900.0]
+        assert len(resumed) == 2 * 2  # two requests × density 2
+
+    def test_crash_is_idempotent(self):
+        sim = Simulator()
+        server, _, _, _ = make_setup(sim, n_devices=1)
+        server.crash()
+        server.crash()
+        server.recover()
+        server.recover()
+        assert not server.crashed
+
+    def test_uploads_during_crash_are_not_counted(self):
+        sim = Simulator()
+        server, network, devices, _ = make_setup(sim, n_devices=2)
+        server.submit_task(make_spec(sampling_duration_s=600.0), lambda p: None)
+        sim.run(until=10.0)
+        server.crash()
+        # A straggler upload arrives at the (dead) server callback.
+        from repro.cellular.network import DeliveryReceipt
+
+        request_id = server.selection_log[0].request_id
+        message = sensor_data_message(
+            "d0", {"device_id": "d0", "request_id": request_id, "value": 1013.0}
+        )
+        server.receive_sensed_data(
+            message, DeliveryReceipt(1, sim.now, sim.now, "path1")
+        )
+        assert server.stats.data_points == 0
+
+
+class TestUnresponsiveDevices:
+    def test_device_without_handler_marked_unresponsive(self):
+        sim = Simulator()
+        server, network, devices, clients = make_setup(sim, n_devices=3)
+        # Simulate a vanished client: handler removed but record kept.
+        server._assignment_handlers.pop("d0")
+        server.submit_task(
+            make_spec(spatial_density=3, sampling_duration_s=600.0), lambda p: None
+        )
+        sim.run(until=650.0)
+        assert not server.devices.record("d0").responsive
+        # Follow-up requests exclude it (only 2 eligible of 3 needed).
+        server.submit_task(
+            make_spec(spatial_density=3, sampling_duration_s=600.0), lambda p: None
+        )
+        sim.run(until=sim.now + 50.0)
+        assert server.stats.requests_waitlisted >= 1
+
+
+class TestEpochReset:
+    def test_counters_reset_each_epoch(self):
+        sim = Simulator()
+        config = SenseAidConfig(epoch_reset_period_s=1000.0)
+        server, _, _, _ = make_setup(sim, n_devices=2, config=config)
+        server.submit_task(make_spec(sampling_duration_s=600.0), lambda p: None)
+        sim.run(until=650.0)
+        assert any(r.times_selected > 0 for r in server.devices.records())
+        sim.run(until=1100.0)  # epoch boundary at t=1000
+        assert all(r.times_selected == 0 for r in server.devices.records())
+        assert all(r.energy_used_j == 0.0 for r in server.devices.records())
+
+    def test_invalid_epoch_period(self):
+        with pytest.raises(ValueError):
+            SenseAidConfig(epoch_reset_period_s=0.0)
+
+
+class TestReliability:
+    def test_reliability_decays_on_invalid_data(self):
+        from tests.test_core_datastores_queues import make_record
+
+        record = make_record()
+        assert record.reliability == 1.0
+        record.observe_data_quality(False)
+        assert record.reliability == pytest.approx(0.75)
+        record.observe_data_quality(False)
+        assert record.reliability < 0.6
+
+    def test_reliability_recovers_on_valid_data(self):
+        from tests.test_core_datastores_queues import make_record
+
+        record = make_record(reliability=0.5)
+        for _ in range(10):
+            record.observe_data_quality(True)
+        assert record.reliability > 0.9
+
+    def test_selector_reliability_cutoff(self):
+        from repro.core.config import SelectorWeights
+        from repro.core.selector import DeviceSelector
+        from tests.test_core_datastores_queues import make_record
+
+        selector = DeviceSelector(SelectorWeights(), min_reliability=0.5)
+        good = make_record("good", reliability=0.9)
+        bad = make_record("bad", reliability=0.3)
+        verdict = selector.eligibility(bad)
+        assert not verdict.eligible
+        assert verdict.reason == "unreliable"
+        assert selector.eligibility(good).eligible
+
+    def test_rho_weight_penalises_unreliable_devices(self):
+        from repro.core.config import SelectorWeights
+        from repro.core.selector import DeviceSelector
+        from tests.test_core_datastores_queues import make_record
+
+        selector = DeviceSelector(SelectorWeights(rho=5.0))
+        good = make_record("good", reliability=1.0)
+        shaky = make_record("shaky", reliability=0.6)
+        assert selector.select([shaky, good], 1, now=0.0) == ["good"]
+
+    def test_server_updates_reliability_from_data_path(self):
+        sim = Simulator()
+        server, _, _, _ = make_setup(sim, n_devices=2)
+        server.submit_task(make_spec(sampling_duration_s=600.0), lambda p: None)
+        sim.run(until=650.0)
+        selected = server.selection_log[0].selected
+        for device_id in selected:
+            assert server.devices.record(device_id).reliability == 1.0

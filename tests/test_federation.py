@@ -1,0 +1,191 @@
+"""Tests for the distributed (federated) edge deployment."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cellular.network import CellularNetwork
+from repro.clientlib import SenseAidClient
+from repro.core.config import SenseAidConfig, ServerMode
+from repro.core.federation import EdgeRegionSpec, FederatedSenseAid
+from repro.core.tasks import TaskSpec
+from repro.devices.sensors import SensorType
+from repro.environment.geometry import Point
+from repro.environment.mobility import MobilityModel
+from repro.sim.engine import Simulator
+from tests.conftest import make_device
+
+WEST = Point(500.0, 500.0)
+EAST = Point(2500.0, 500.0)
+
+
+class _Teleporter(MobilityModel):
+    """Moves instantly from one point to another at a switch time."""
+
+    def __init__(self, before: Point, after: Point, switch_at: float) -> None:
+        self._before = before
+        self._after = after
+        self._switch_at = switch_at
+
+    def position_at(self, time: float) -> Point:
+        return self._before if time < self._switch_at else self._after
+
+
+def make_federation(sim, *, rebalance_period_s=60.0):
+    network = CellularNetwork(sim)
+    federation = FederatedSenseAid(
+        sim,
+        network,
+        [
+            EdgeRegionSpec("west", WEST),
+            EdgeRegionSpec("east", EAST),
+        ],
+        SenseAidConfig(mode=ServerMode.COMPLETE),
+        rebalance_period_s=rebalance_period_s,
+    )
+    return network, federation
+
+
+def make_client(sim, network, federation, device_id, position):
+    device = make_device(sim, device_id, position=position)
+    client = SenseAidClient(sim, device, federation.instance("west"), network)
+    federation.register(client)
+    return client
+
+
+def make_task(center, **kwargs) -> TaskSpec:
+    defaults = dict(
+        sensor_type=SensorType.BAROMETER,
+        center=center,
+        area_radius_m=800.0,
+        spatial_density=1,
+        sampling_period_s=300.0,
+        sampling_duration_s=600.0,
+    )
+    defaults.update(kwargs)
+    return TaskSpec(**defaults)
+
+
+class TestTopology:
+    def test_requires_regions(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            FederatedSenseAid(sim, CellularNetwork(sim), [])
+
+    def test_unique_region_ids(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            FederatedSenseAid(
+                sim,
+                CellularNetwork(sim),
+                [EdgeRegionSpec("x", WEST), EdgeRegionSpec("x", EAST)],
+            )
+
+    def test_voronoi_routing(self):
+        sim = Simulator()
+        _, federation = make_federation(sim)
+        assert federation.region_for(Point(100.0, 500.0)) == "west"
+        assert federation.region_for(Point(2900.0, 500.0)) == "east"
+
+    def test_unknown_region(self):
+        sim = Simulator()
+        _, federation = make_federation(sim)
+        with pytest.raises(KeyError):
+            federation.instance("north")
+
+
+class TestRegistration:
+    def test_device_lands_on_nearest_instance(self):
+        sim = Simulator()
+        network, federation = make_federation(sim)
+        client = make_client(sim, network, federation, "d-east", EAST)
+        assert federation.home_region("d-east") == "east"
+        assert client.server is federation.instance("east")
+        assert "d-east" in federation.instance("east").devices
+
+    def test_devices_per_region(self):
+        sim = Simulator()
+        network, federation = make_federation(sim)
+        make_client(sim, network, federation, "w1", WEST)
+        make_client(sim, network, federation, "w2", WEST)
+        make_client(sim, network, federation, "e1", EAST)
+        assert federation.devices_per_region() == {"west": 2, "east": 1}
+
+    def test_deregister(self):
+        sim = Simulator()
+        network, federation = make_federation(sim)
+        client = make_client(sim, network, federation, "d", WEST)
+        federation.deregister("d")
+        assert not client.registered
+        with pytest.raises(KeyError):
+            federation.home_region("d")
+
+
+class TestHandoff:
+    def test_moving_device_is_handed_over(self):
+        sim = Simulator()
+        network, federation = make_federation(sim, rebalance_period_s=30.0)
+        device = make_device(sim, "walker", position=WEST)
+        device.mobility = _Teleporter(WEST, EAST, switch_at=100.0)
+        client = SenseAidClient(sim, device, federation.instance("west"), network)
+        federation.register(client)
+        assert federation.home_region("walker") == "west"
+        sim.run(until=150.0)
+        assert federation.home_region("walker") == "east"
+        assert federation.handoffs == 1
+        assert "walker" in federation.instance("east").devices
+        assert "walker" not in federation.instance("west").devices
+
+    def test_stationary_device_not_handed_over(self):
+        sim = Simulator()
+        network, federation = make_federation(sim, rebalance_period_s=30.0)
+        make_client(sim, network, federation, "still", WEST)
+        sim.run(until=500.0)
+        assert federation.handoffs == 0
+
+    def test_handoff_preserves_service(self):
+        """A device handed over keeps serving tasks in its new region."""
+        sim = Simulator()
+        network, federation = make_federation(sim, rebalance_period_s=30.0)
+        device = make_device(sim, "walker", position=WEST)
+        device.mobility = _Teleporter(WEST, EAST, switch_at=100.0)
+        client = SenseAidClient(sim, device, federation.instance("west"), network)
+        federation.register(client)
+        sim.run(until=150.0)
+        data = []
+        federation.submit_task(make_task(EAST), data.append)
+        sim.run(until=800.0)
+        assert len(data) == 2  # both sampling instants served
+
+
+class TestTaskRouting:
+    def test_task_routed_by_center(self):
+        sim = Simulator()
+        network, federation = make_federation(sim)
+        make_client(sim, network, federation, "w1", WEST)
+        region = federation.submit_task(make_task(WEST), lambda p: None)
+        assert region == "west"
+        sim.run(until=700.0)
+        assert federation.instance("west").stats.requests_issued == 2
+        assert federation.instance("east").stats.requests_issued == 0
+
+    def test_independent_campaigns_per_region(self):
+        sim = Simulator()
+        network, federation = make_federation(sim)
+        make_client(sim, network, federation, "w1", WEST)
+        make_client(sim, network, federation, "e1", EAST)
+        west_data, east_data = [], []
+        federation.submit_task(make_task(WEST), west_data.append)
+        federation.submit_task(make_task(EAST), east_data.append)
+        sim.run(until=700.0)
+        assert len(west_data) == 2
+        assert len(east_data) == 2
+        assert federation.total_data_points() == 4
+        assert federation.total_requests_issued() == 4
+
+    def test_shutdown_stops_instances(self):
+        sim = Simulator()
+        network, federation = make_federation(sim)
+        federation.shutdown()  # must not raise; rebalancer stopped
+        sim.run(until=1000.0)
+        assert federation.handoffs == 0

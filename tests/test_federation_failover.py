@@ -1,0 +1,135 @@
+"""Tests for edge-instance failover in the federated deployment."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.engine import Simulator
+from tests.test_federation import (
+    EAST,
+    WEST,
+    make_client,
+    make_federation,
+    make_task,
+)
+
+
+class TestBackupSelection:
+    def test_nearest_healthy_sibling(self):
+        sim = Simulator()
+        _, federation = make_federation(sim)
+        assert federation.backup_region_for("west") == "east"
+        assert federation.backup_region_for("east") == "west"
+
+    def test_no_backup_when_all_down(self):
+        sim = Simulator()
+        _, federation = make_federation(sim)
+        federation.instance("east").crash()
+        assert federation.backup_region_for("west") is None
+
+
+class TestFailover:
+    def _failing_setup(self):
+        sim = Simulator()
+        network, federation = make_federation(sim, rebalance_period_s=1e6)
+        federation.enable_failover(check_period_s=30.0)
+        make_client(sim, network, federation, "w1", WEST)
+        make_client(sim, network, federation, "w2", WEST)
+        make_client(sim, network, federation, "e1", EAST)
+        return sim, network, federation
+
+    def test_devices_migrate_to_backup(self):
+        sim, network, federation = self._failing_setup()
+        federation.instance("west").crash()
+        sim.run(until=100.0)
+        assert federation.failovers == 1
+        assert federation.home_region("w1") == "east"
+        assert federation.home_region("w2") == "east"
+        assert "w1" in federation.instance("east").devices
+
+    def test_tasks_resume_on_backup(self):
+        sim, network, federation = self._failing_setup()
+        data = []
+        federation.submit_task(
+            make_task(WEST, spatial_density=1, sampling_period_s=300.0,
+                      sampling_duration_s=None, start_time=0.0, end_time=3600.0),
+            data.append,
+        )
+        sim.run(until=350.0)
+        collected_before = len(data)
+        assert collected_before >= 1
+        federation.instance("west").crash()
+        sim.run(until=3700.0)
+        # The backup carried the campaign to its original end time.
+        assert len(data) > collected_before
+        east_issued = federation.instance("east").stats.requests_issued
+        assert east_issued >= 5
+
+    def test_sense_aid_path_restored_after_takeover(self):
+        sim, network, federation = self._failing_setup()
+        federation.submit_task(
+            make_task(WEST, spatial_density=1), lambda p: None
+        )
+        federation.instance("west").crash()
+        assert not network.sense_aid_path_available
+        sim.run(until=100.0)
+        assert network.sense_aid_path_available
+
+    def test_recovered_instance_does_not_double_schedule(self):
+        sim, network, federation = self._failing_setup()
+        data = []
+        federation.submit_task(
+            make_task(WEST, spatial_density=1, sampling_period_s=600.0,
+                      sampling_duration_s=None, start_time=0.0, end_time=3600.0),
+            data.append,
+        )
+        sim.run(until=50.0)
+        federation.instance("west").crash()
+        sim.run(until=700.0)
+        federation.recover_instance("west")
+        sim.run(until=3700.0)
+        # Each sampling instant must produce at most one reading
+        # (density 1): no duplicates from the recovered instance.
+        times = sorted(round(p.sensed_at) for p in data)
+        assert len(times) == len(set(times))
+
+    def test_failover_without_monitor_never_triggers(self):
+        sim = Simulator()
+        network, federation = make_federation(sim)
+        make_client(sim, network, federation, "w1", WEST)
+        federation.instance("west").crash()
+        sim.run(until=500.0)
+        assert federation.failovers == 0
+
+    def test_rebalancer_avoids_crashed_instances(self):
+        """Regression: after a failover, periodic rebalancing must not
+        hand devices back to the dead instance even if it is the
+        Voronoi owner of their position."""
+        sim = Simulator()
+        network, federation = make_federation(sim, rebalance_period_s=20.0)
+        federation.enable_failover(check_period_s=30.0)
+        make_client(sim, network, federation, "w1", WEST)  # stays in west
+        federation.instance("west").crash()
+        sim.run(until=200.0)
+        assert federation.home_region("w1") == "east"
+        assert "w1" not in federation.instance("west").devices
+
+    def test_registration_avoids_crashed_instance(self):
+        sim = Simulator()
+        network, federation = make_federation(sim)
+        federation.instance("west").crash()
+        client = make_client(sim, network, federation, "newbie", WEST)
+        assert federation.home_region("newbie") == "east"
+
+    def test_enable_failover_twice_rejected(self):
+        sim = Simulator()
+        _, federation = make_federation(sim)
+        federation.enable_failover()
+        with pytest.raises(RuntimeError):
+            federation.enable_failover()
+
+    def test_invalid_check_period(self):
+        sim = Simulator()
+        _, federation = make_federation(sim)
+        with pytest.raises(ValueError):
+            federation.enable_failover(check_period_s=0.0)

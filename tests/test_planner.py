@@ -1,0 +1,136 @@
+"""Tests for the campaign cost estimator, including validation against
+full simulation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cellular.power import LTE_POWER_PROFILE
+from repro.core.config import ServerMode
+from repro.core.tasks import TaskSpec
+from repro.devices.sensors import SensorType
+from repro.devices.traffic import TrafficPattern
+from repro.environment.geometry import Point
+from repro.serverlib.planner import (
+    estimate_campaign,
+    tail_hit_probability,
+    upload_cost_j,
+)
+
+
+def make_task(**kwargs):
+    defaults = dict(
+        sensor_type=SensorType.BAROMETER,
+        center=Point(1275.0, 1350.0),
+        area_radius_m=1000.0,
+        spatial_density=2,
+        sampling_period_s=600.0,
+        sampling_duration_s=5400.0,
+    )
+    defaults.update(kwargs)
+    return TaskSpec(**defaults)
+
+
+class TestTailHitProbability:
+    def test_zero_window(self):
+        assert tail_hit_probability(0.0, TrafficPattern()) == 0.0
+
+    def test_monotone_in_window(self):
+        pattern = TrafficPattern(mean_gap_s=420.0)
+        p1 = tail_hit_probability(60.0, pattern)
+        p2 = tail_hit_probability(600.0, pattern)
+        assert 0.0 < p1 < p2 < 1.0
+
+    def test_heavier_traffic_raises_probability(self):
+        light = tail_hit_probability(300.0, TrafficPattern(mean_gap_s=1200.0))
+        heavy = tail_hit_probability(300.0, TrafficPattern(mean_gap_s=240.0))
+        assert heavy > light
+
+    def test_negative_window_rejected(self):
+        with pytest.raises(ValueError):
+            tail_hit_probability(-1.0, TrafficPattern())
+
+
+class TestUploadCost:
+    def test_miss_is_cold_upload(self):
+        cost = upload_cost_j(LTE_POWER_PROFILE, ServerMode.COMPLETE, hit=False)
+        assert cost == pytest.approx(LTE_POWER_PROFILE.cold_upload_energy_j(600))
+
+    def test_complete_hit_is_nearly_free(self):
+        cost = upload_cost_j(LTE_POWER_PROFILE, ServerMode.COMPLETE, hit=True)
+        assert cost < 0.1
+
+    def test_basic_hit_costs_more_than_complete(self):
+        basic = upload_cost_j(LTE_POWER_PROFILE, ServerMode.BASIC, hit=True)
+        complete = upload_cost_j(LTE_POWER_PROFILE, ServerMode.COMPLETE, hit=True)
+        assert basic > complete
+
+    def test_hit_always_cheaper_than_miss(self):
+        for mode in ServerMode:
+            hit = upload_cost_j(LTE_POWER_PROFILE, mode, hit=True)
+            miss = upload_cost_j(LTE_POWER_PROFILE, mode, hit=False)
+            assert hit < miss
+
+
+class TestEstimate:
+    def test_shape(self):
+        estimate = estimate_campaign(
+            make_task(), LTE_POWER_PROFILE, TrafficPattern(mean_gap_s=420.0)
+        )
+        assert estimate.requests == 9
+        assert estimate.devices_per_request == 2
+        assert 0.0 < estimate.tail_hit_probability < 1.0
+        assert estimate.fleet_energy_j == pytest.approx(
+            estimate.energy_per_upload_j * 18
+        )
+
+    def test_budget_check(self):
+        estimate = estimate_campaign(
+            make_task(), LTE_POWER_PROFILE, TrafficPattern(mean_gap_s=420.0)
+        )
+        assert estimate.within_budget(496.0, qualified_pool=12)
+        assert not estimate.within_budget(0.5, qualified_pool=12)
+        with pytest.raises(ValueError):
+            estimate.within_budget(496.0, qualified_pool=0)
+
+    def test_estimate_matches_simulation_within_factor_two(self):
+        """The whole point: the analytic estimate must predict the
+        simulated fleet energy to within a small factor."""
+        from repro.core.config import ServerMode
+        from repro.experiments.common import (
+            ScenarioConfig,
+            TaskParams,
+            run_sense_aid_arm,
+        )
+
+        simulated = []
+        for seed in (7, 8, 9, 10):
+            arm = run_sense_aid_arm(
+                ScenarioConfig(seed=seed),
+                [
+                    TaskParams(
+                        area_radius_m=1000.0,
+                        spatial_density=2,
+                        sampling_period_s=600.0,
+                        sampling_duration_s=5400.0,
+                    )
+                ],
+                ServerMode.COMPLETE,
+            )
+            simulated.append(arm.energy.total_j)
+        mean_simulated = sum(simulated) / len(simulated)
+        estimate = estimate_campaign(
+            make_task(), LTE_POWER_PROFILE, TrafficPattern(mean_gap_s=420.0)
+        )
+        ratio = estimate.fleet_energy_j / mean_simulated
+        assert 0.5 <= ratio <= 2.0
+
+    def test_faster_sampling_costs_more(self):
+        pattern = TrafficPattern(mean_gap_s=420.0)
+        fast = estimate_campaign(
+            make_task(sampling_period_s=60.0), LTE_POWER_PROFILE, pattern
+        )
+        slow = estimate_campaign(
+            make_task(sampling_period_s=600.0), LTE_POWER_PROFILE, pattern
+        )
+        assert fast.fleet_energy_j > slow.fleet_energy_j

@@ -1,0 +1,58 @@
+"""Tests for heterogeneous traffic mixes in the population."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.devices.traffic import HEAVY_USER, LIGHT_USER, TrafficPattern
+from repro.environment.campus import default_campus
+from repro.environment.population import PopulationConfig, build_population
+from repro.sim.engine import Simulator
+
+
+class TestPatternFor:
+    def test_homogeneous_by_default(self):
+        config = PopulationConfig(size=10)
+        assert all(config.pattern_for(i) is config.traffic for i in range(10))
+
+    def test_striping(self):
+        config = PopulationConfig(
+            size=10, heavy_user_fraction=0.2, light_user_fraction=0.3
+        )
+        patterns = [config.pattern_for(i) for i in range(10)]
+        assert patterns[0] is HEAVY_USER
+        assert patterns[1] is HEAVY_USER
+        assert patterns[2] is config.traffic
+        assert patterns[6] is config.traffic
+        assert patterns[7] is LIGHT_USER
+        assert patterns[9] is LIGHT_USER
+
+    def test_fraction_validation(self):
+        with pytest.raises(ValueError):
+            PopulationConfig(heavy_user_fraction=0.7, light_user_fraction=0.5)
+        with pytest.raises(ValueError):
+            PopulationConfig(heavy_user_fraction=-0.1)
+
+
+class TestMixedPopulationBehaviour:
+    def test_heavy_users_generate_more_sessions(self):
+        sim = Simulator(seed=5)
+        config = PopulationConfig(
+            size=12,
+            heavy_user_fraction=0.25,
+            light_user_fraction=0.25,
+            traffic=TrafficPattern(mean_gap_s=480.0),
+        )
+        devices = build_population(sim, default_campus(), config)
+        sim.run(until=6 * 3600.0)
+        heavy = sum(d.traffic.sessions for d in devices[:3])
+        light = sum(d.traffic.sessions for d in devices[-3:])
+        assert heavy > 2 * light
+
+    def test_mix_is_deterministic(self):
+        config = PopulationConfig(size=8, heavy_user_fraction=0.5)
+        campus = default_campus()
+        a = build_population(Simulator(seed=2), campus, config, start_traffic=False)
+        b = build_population(Simulator(seed=2), campus, config, start_traffic=False)
+        for da, db in zip(a, b):
+            assert da.traffic._pattern is db.traffic._pattern

@@ -1,0 +1,162 @@
+"""Tests for the server-side privacy filter."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.privacy import (
+    PrivacyFilter,
+    PrivacyPolicy,
+    SENSITIVE_FIELDS,
+    generalize_location,
+    scrub_payload,
+)
+from repro.core.server import SensedDataPoint
+from repro.devices.sensors import SensorType
+from repro.sim.engine import Simulator
+from tests.test_core_server import make_setup, make_spec
+
+
+def make_point(request_id="r0", device_hash="hash-a", value=1013.0):
+    return SensedDataPoint(
+        request_id=request_id,
+        task_id=1,
+        sensor_type=SensorType.BAROMETER,
+        value=value,
+        sensed_at=10.0,
+        delivered_at=11.0,
+        device_hash=device_hash,
+    )
+
+
+class TestScrubbing:
+    def test_sensitive_fields_removed(self):
+        payload = {
+            "device_id": "d0",
+            "imei": "1234",
+            "battery_pct": 80.0,
+            "energy_used_j": 5.0,
+            "value": 1013.0,
+            "sensed_at": 9.0,
+        }
+        scrubbed = scrub_payload(payload)
+        assert scrubbed == {"value": 1013.0, "sensed_at": 9.0}
+        for sensitive_field in SENSITIVE_FIELDS:
+            assert sensitive_field not in scrubbed
+
+    def test_original_untouched(self):
+        payload = {"device_id": "d0", "value": 1.0}
+        scrub_payload(payload)
+        assert "device_id" in payload
+
+    def test_generalize_location(self):
+        assert generalize_location("enb-00") == "cell:enb-00"
+
+
+class TestPseudonyms:
+    def test_stable_within_application(self):
+        filt = PrivacyFilter(PrivacyPolicy())
+        assert filt.pseudonym("h", "weather") == filt.pseudonym("h", "weather")
+
+    def test_unlinkable_across_applications(self):
+        filt = PrivacyFilter(PrivacyPolicy())
+        assert filt.pseudonym("h", "weather") != filt.pseudonym("h", "traffic")
+
+    def test_salt_changes_pseudonyms(self):
+        a = PrivacyFilter(PrivacyPolicy(pseudonym_salt="s1"))
+        b = PrivacyFilter(PrivacyPolicy(pseudonym_salt="s2"))
+        assert a.pseudonym("h", "app") != b.pseudonym("h", "app")
+
+    def test_pseudonym_hides_device_hash(self):
+        filt = PrivacyFilter(PrivacyPolicy())
+        delivered = []
+        filt.offer(make_point(device_hash="raw-hash"), "app", delivered.append)
+        assert delivered[0].device_hash != "raw-hash"
+
+
+class TestKAnonymity:
+    def test_k1_releases_immediately(self):
+        filt = PrivacyFilter(PrivacyPolicy(k_anonymity=1))
+        delivered = []
+        filt.offer(make_point(), "app", delivered.append)
+        assert len(delivered) == 1
+        assert filt.released == 1
+
+    def test_k2_buffers_first_reading(self):
+        filt = PrivacyFilter(PrivacyPolicy(k_anonymity=2))
+        delivered = []
+        filt.offer(make_point(device_hash="a"), "app", delivered.append)
+        assert delivered == []
+        assert filt.pending("r0") == 1
+        filt.offer(make_point(device_hash="b"), "app", delivered.append)
+        assert len(delivered) == 2
+        assert filt.pending("r0") == 0
+
+    def test_duplicate_device_does_not_meet_bar(self):
+        filt = PrivacyFilter(PrivacyPolicy(k_anonymity=2))
+        delivered = []
+        filt.offer(make_point(device_hash="a", value=1.0), "app", delivered.append)
+        filt.offer(make_point(device_hash="a", value=2.0), "app", delivered.append)
+        assert delivered == []
+
+    def test_close_request_suppresses(self):
+        filt = PrivacyFilter(PrivacyPolicy(k_anonymity=3))
+        delivered = []
+        filt.offer(make_point(device_hash="a"), "app", delivered.append)
+        dropped = filt.close_request("r0")
+        assert dropped == 1
+        assert filt.suppressed == 1
+        assert delivered == []
+
+    def test_requests_independent(self):
+        filt = PrivacyFilter(PrivacyPolicy(k_anonymity=2))
+        delivered = []
+        filt.offer(make_point(request_id="r1", device_hash="a"), "app", delivered.append)
+        filt.offer(make_point(request_id="r2", device_hash="b"), "app", delivered.append)
+        assert delivered == []
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            PrivacyPolicy(k_anonymity=0)
+
+
+class TestServerIntegration:
+    def _run(self, k):
+        sim = Simulator()
+        from repro.cellular.enodeb import ENodeB, TowerRegistry
+        from repro.cellular.network import CellularNetwork
+        from repro.clientlib.client import SenseAidClient
+        from repro.core.config import SenseAidConfig, ServerMode
+        from repro.core.server import SenseAidServer
+        from tests.conftest import make_device
+        from tests.test_core_server import CENTER
+
+        registry = TowerRegistry([ENodeB("t0", CENTER, coverage_radius_m=5000.0)])
+        network = CellularNetwork(sim)
+        server = SenseAidServer(
+            sim,
+            registry,
+            network,
+            SenseAidConfig(mode=ServerMode.COMPLETE),
+            privacy_policy=PrivacyPolicy(k_anonymity=k),
+        )
+        for i in range(3):
+            SenseAidClient(sim, make_device(sim, f"d{i}", position=CENTER), server, network).register()
+        data = []
+        server.submit_task(
+            make_spec(spatial_density=2, sampling_duration_s=600.0), data.append
+        )
+        sim.run(until=650.0)
+        return server, data
+
+    def test_k2_satisfied_by_density2(self):
+        server, data = self._run(k=2)
+        assert len(data) == 2
+        raw_hashes = {r.imei_hash for r in server.devices.records()}
+        for point in data:
+            assert point.device_hash not in raw_hashes
+
+    def test_k3_suppresses_density2_request(self):
+        server, data = self._run(k=3)
+        assert data == []
+        assert server.privacy.suppressed == 2

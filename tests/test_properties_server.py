@@ -1,0 +1,158 @@
+"""Property-based end-to-end invariants of the Sense-Aid server.
+
+Each example builds a random small scenario (devices, positions,
+density, period) and runs a full campaign, then checks the invariants
+that must hold for *any* workload.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cellular.enodeb import ENodeB, TowerRegistry
+from repro.cellular.network import CellularNetwork
+from repro.cellular.packets import TrafficCategory
+from repro.clientlib.client import SenseAidClient
+from repro.core.config import SenseAidConfig, ServerMode
+from repro.core.server import SenseAidServer
+from repro.core.tasks import TaskSpec
+from repro.devices.sensors import SensorType
+from repro.environment.geometry import Point
+from repro.sim.engine import Simulator
+from tests.conftest import make_device
+
+CENTER = Point(500.0, 500.0)
+
+scenario_strategy = st.fixed_dictionaries(
+    {
+        "seed": st.integers(min_value=0, max_value=10_000),
+        "n_devices": st.integers(min_value=1, max_value=8),
+        "density": st.integers(min_value=1, max_value=4),
+        "period_s": st.sampled_from([120.0, 300.0, 600.0]),
+        "ticks": st.integers(min_value=1, max_value=4),
+        "mode": st.sampled_from(list(ServerMode)),
+        "spread_m": st.floats(min_value=0.0, max_value=1500.0),
+        "with_traffic": st.booleans(),
+    }
+)
+
+
+def run_scenario(params):
+    sim = Simulator(seed=params["seed"])
+    registry = TowerRegistry([ENodeB("t0", CENTER, coverage_radius_m=10_000.0)])
+    network = CellularNetwork(sim)
+    server = SenseAidServer(
+        sim, registry, network, SenseAidConfig(mode=params["mode"])
+    )
+    rng = sim.rng.stream("scenario")
+    devices, clients = [], []
+    for i in range(params["n_devices"]):
+        offset = params["spread_m"] * rng.random()
+        angle = rng.random() * 6.283185
+        import math
+
+        position = Point(
+            CENTER.x + offset * math.cos(angle),
+            CENTER.y + offset * math.sin(angle),
+        )
+        device = make_device(sim, f"d{i}", position=position)
+        client = SenseAidClient(sim, device, server, network)
+        client.register()
+        if params["with_traffic"]:
+            device.traffic.start()
+        devices.append(device)
+        clients.append(client)
+    duration = params["period_s"] * params["ticks"]
+    task = TaskSpec(
+        sensor_type=SensorType.BAROMETER,
+        center=CENTER,
+        area_radius_m=1000.0,
+        spatial_density=params["density"],
+        sampling_period_s=params["period_s"],
+        sampling_duration_s=duration,
+    )
+    data = []
+    server.submit_task(task, data.append)
+    sim.run(until=duration + 60.0)
+    server.shutdown()
+    return server, devices, clients, data
+
+
+@settings(max_examples=40, deadline=None)
+@given(scenario_strategy)
+def test_server_invariants(params):
+    server, devices, clients, data = run_scenario(params)
+    stats = server.stats
+
+    # Request accounting balances.
+    assert stats.requests_issued == params["ticks"]
+    assert (
+        stats.requests_scheduled + stats.requests_waitlisted
+        >= stats.requests_issued
+        - stats.requests_expired
+        - stats.requests_lost_to_crash
+    )
+
+    # Every selection event picked exactly the density, only from
+    # qualified devices, with no duplicates.
+    for event in server.selection_log:
+        assert len(event.selected) == params["density"]
+        assert len(set(event.selected)) == len(event.selected)
+        assert set(event.selected) <= set(event.qualified)
+
+    # Data only from assigned devices; never more points than
+    # assignments.
+    assert stats.data_points <= stats.assignments
+
+    # Energy sanity: every delivered point cost something, nothing is
+    # negative, and the battery drained exactly what the ledger charged.
+    for device in devices:
+        assert device.crowdsensing_energy_j() >= 0.0
+        ledger_total = device.ledger.grand_total_j()
+        assert device.battery.drained_j >= ledger_total - 1e-6
+    if stats.data_points:
+        assert sum(d.crowdsensing_energy_j() for d in devices) > 0.0
+
+    # Application data points carry plausible values and hashed ids.
+    raw_ids = {d.device_id for d in devices}
+    for point in data:
+        assert 850.0 <= point.value <= 1100.0
+        assert point.device_hash not in raw_ids
+
+
+@settings(max_examples=15, deadline=None)
+@given(scenario_strategy)
+def test_scenario_determinism(params):
+    first = run_scenario(params)
+    second = run_scenario(params)
+    assert first[0].stats == second[0].stats
+    assert [d.crowdsensing_energy_j() for d in first[1]] == [
+        d.crowdsensing_energy_j() for d in second[1]
+    ]
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    st.integers(min_value=0, max_value=1000),
+    st.integers(min_value=2, max_value=6),
+)
+def test_complete_never_costs_more_than_basic(seed, n_devices):
+    """For any world, Complete's only difference is not resetting the
+    tail — it can never use more crowdsensing energy than Basic."""
+
+    def total(mode):
+        params = {
+            "seed": seed,
+            "n_devices": n_devices,
+            "density": min(2, n_devices),
+            "period_s": 300.0,
+            "ticks": 3,
+            "mode": mode,
+            "spread_m": 200.0,
+            "with_traffic": True,
+        }
+        _, devices, _, _ = run_scenario(params)
+        return sum(d.crowdsensing_energy_j() for d in devices)
+
+    assert total(ServerMode.COMPLETE) <= total(ServerMode.BASIC) + 1e-6

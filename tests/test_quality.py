@@ -1,0 +1,89 @@
+"""Tests for data-quality metrics — the paper's "not harming
+crowdsensing data" prerequisite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.quality import (
+    LatencyStats,
+    QualityReport,
+    baseline_quality,
+    delivery_latency,
+    sense_aid_quality,
+)
+from repro.core.config import ServerMode
+from repro.experiments.common import (
+    ScenarioConfig,
+    TaskParams,
+    run_pcs_arm,
+    run_periodic_arm,
+    run_sense_aid_arm,
+)
+
+CONFIG = ScenarioConfig(seed=7)
+TASKS = [
+    TaskParams(
+        area_radius_m=1000.0,
+        spatial_density=2,
+        sampling_period_s=600.0,
+        sampling_duration_s=3600.0,
+    )
+]
+
+
+@pytest.fixture(scope="module")
+def arms():
+    return {
+        "sense_aid": run_sense_aid_arm(CONFIG, TASKS, ServerMode.COMPLETE),
+        "periodic": run_periodic_arm(CONFIG, TASKS),
+        "pcs": run_pcs_arm(CONFIG, TASKS),
+    }
+
+
+class TestQualityReport:
+    def test_completeness_math(self):
+        report = QualityReport(requests_total=10, requests_satisfied=9, data_points=20)
+        assert report.completeness == 0.9
+
+    def test_empty_campaign_is_complete(self):
+        assert QualityReport(0, 0, 0).completeness == 1.0
+
+
+class TestFrameworkQuality:
+    def test_sense_aid_meets_density(self, arms):
+        report = sense_aid_quality(arms["sense_aid"].extras["server"])
+        assert report.requests_total == 6
+        assert report.completeness >= 0.9
+
+    def test_baselines_meet_density(self, arms):
+        for name in ("periodic", "pcs"):
+            report = baseline_quality(arms[name].extras["framework"])
+            assert report.requests_total == 6
+            assert report.completeness >= 0.9
+
+    def test_energy_saving_does_not_harm_data(self, arms):
+        """The paper's headline caveat, as an assertion: Sense-Aid's
+        huge energy saving must come at equal data completeness."""
+        sense_aid = sense_aid_quality(arms["sense_aid"].extras["server"])
+        periodic = baseline_quality(arms["periodic"].extras["framework"])
+        assert sense_aid.completeness >= periodic.completeness - 0.2
+        assert (
+            arms["sense_aid"].energy.total_j < 0.3 * arms["periodic"].energy.total_j
+        )
+
+
+class TestLatency:
+    def test_latency_within_sampling_period(self, arms):
+        cas = arms["sense_aid"].extras["cas"]
+        stats = delivery_latency(cas.readings)
+        assert stats.count == arms["sense_aid"].data_points
+        # Every reading reached the application within its sampling
+        # window (plus the deadline grace).
+        assert stats.max_s <= 600.0 + 10.0
+        assert stats.mean_s >= 0.0
+        assert stats.p95_s <= stats.max_s
+
+    def test_empty_latency(self):
+        stats = delivery_latency([])
+        assert stats == LatencyStats(0, 0.0, 0.0, 0.0)

@@ -1,0 +1,51 @@
+"""Tests for the combined reproduction report."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.report import generate_report, write_report
+from repro.cli import main
+
+
+class TestGenerateReport:
+    def test_subset_report_contains_sections(self):
+        report = generate_report(experiments=["fig1", "fig6"])
+        assert "Sense-Aid reproduction report" in report
+        assert "[fig1]" in report
+        assert "[fig6]" in report
+        assert "Figure 1" in report
+        assert "Figure 6" in report
+        assert "scenario seed: 7" in report
+
+    def test_seed_recorded(self):
+        report = generate_report(seed=99, experiments=["fig1"])
+        assert "scenario seed: 99" in report
+
+    def test_unknown_experiment_raises(self):
+        with pytest.raises(KeyError):
+            generate_report(experiments=["fig99"])
+
+
+class TestWriteReport:
+    def test_writes_file(self, tmp_path):
+        path = str(tmp_path / "report.txt")
+        returned = write_report(path, experiments=["fig1"])
+        with open(path) as f:
+            on_disk = f.read()
+        assert on_disk == returned
+        assert "[fig1]" in on_disk
+
+
+class TestCliReport:
+    def test_report_command(self, tmp_path, capsys):
+        path = str(tmp_path / "r.txt")
+        code = main(["report", "--output", path, "--experiments", "fig1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert path in out
+
+    def test_report_command_unknown_experiment(self, tmp_path, capsys):
+        path = str(tmp_path / "r.txt")
+        code = main(["report", "--output", path, "--experiments", "fig99"])
+        assert code == 2

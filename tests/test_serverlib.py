@@ -1,0 +1,128 @@
+"""Tests for the crowdsensing application-server library."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.devices.sensors import SensorType
+from repro.serverlib.appserver import CrowdsensingAppServer
+from repro.sim.engine import Simulator
+from tests.test_core_server import CENTER, make_setup
+
+
+def make_cas(server, name="weather", on_data=None):
+    return CrowdsensingAppServer(server, name, on_data=on_data)
+
+
+def submit_default_task(cas, **kwargs):
+    defaults = dict(
+        sampling_period_s=600.0,
+        sampling_duration_s=1800.0,
+    )
+    defaults.update(kwargs)
+    return cas.task(SensorType.BAROMETER, CENTER, 1000.0, 2, **defaults)
+
+
+class TestTaskApi:
+    def test_task_submission_and_data_flow(self):
+        sim = Simulator()
+        server, _, _, _ = make_setup(sim, n_devices=3)
+        cas = make_cas(server)
+        task_id = submit_default_task(cas)
+        assert task_id in cas.task_ids
+        sim.run(until=1900.0)
+        assert len(cas.readings) == 6  # 3 requests × density 2
+        assert all(p.task_id == task_id for p in cas.readings)
+
+    def test_readings_for_task(self):
+        sim = Simulator()
+        server, _, _, _ = make_setup(sim, n_devices=3)
+        cas = make_cas(server)
+        a = submit_default_task(cas)
+        b = submit_default_task(cas)
+        sim.run(until=1900.0)
+        assert len(cas.readings_for_task(a)) == 3 * 2
+        assert len(cas.readings_for_task(b)) == 3 * 2
+
+    def test_on_data_callback(self):
+        sim = Simulator()
+        server, _, _, _ = make_setup(sim, n_devices=3)
+        seen = []
+        cas = make_cas(server, on_data=seen.append)
+        submit_default_task(cas, sampling_duration_s=600.0)
+        sim.run(until=650.0)
+        assert len(seen) == 2
+
+    def test_update_task_param(self):
+        sim = Simulator()
+        server, _, _, _ = make_setup(sim, n_devices=4)
+        cas = make_cas(server)
+        task_id = submit_default_task(cas)
+        updated = cas.update_task_param(task_id, spatial_density=3)
+        assert updated.spatial_density == 3
+        assert server.tasks.get(task_id).spatial_density == 3
+
+    def test_delete_task(self):
+        sim = Simulator()
+        server, _, _, _ = make_setup(sim, n_devices=3)
+        cas = make_cas(server)
+        task_id = submit_default_task(cas)
+        cas.delete_task(task_id)
+        assert task_id not in cas.task_ids
+        sim.run(until=1900.0)
+        assert cas.readings == []
+
+    def test_cannot_touch_foreign_task(self):
+        sim = Simulator()
+        server, _, _, _ = make_setup(sim, n_devices=3)
+        mine = make_cas(server, "mine")
+        theirs = make_cas(server, "theirs")
+        task_id = submit_default_task(mine)
+        with pytest.raises(KeyError):
+            theirs.delete_task(task_id)
+        with pytest.raises(KeyError):
+            theirs.update_task_param(task_id, spatial_density=1)
+
+
+class TestMultipleApplications:
+    def test_two_apps_coexist_with_isolated_data(self):
+        """The paper: multiple crowdsensing servers can coexist, and the
+        same device can serve both."""
+        sim = Simulator()
+        server, _, _, _ = make_setup(sim, n_devices=3)
+        weather = make_cas(server, "weather")
+        traffic = make_cas(server, "traffic")
+        submit_default_task(weather, sampling_duration_s=600.0)
+        submit_default_task(traffic, sampling_duration_s=600.0)
+        sim.run(until=650.0)
+        assert len(weather.readings) == 2
+        assert len(traffic.readings) == 2
+        assert {p.task_id for p in weather.readings}.isdisjoint(
+            {p.task_id for p in traffic.readings}
+        )
+
+
+class TestAggregates:
+    def test_mean_value(self):
+        sim = Simulator()
+        server, _, _, _ = make_setup(sim, n_devices=3)
+        cas = make_cas(server)
+        task_id = submit_default_task(cas, sampling_duration_s=600.0)
+        sim.run(until=650.0)
+        mean = cas.mean_value(task_id)
+        assert 1000.0 < mean < 1025.0
+        assert cas.mean_value() == pytest.approx(mean)
+
+    def test_mean_value_empty(self):
+        sim = Simulator()
+        server, _, _, _ = make_setup(sim, n_devices=1)
+        cas = make_cas(server)
+        assert cas.mean_value() is None
+
+    def test_distinct_devices(self):
+        sim = Simulator()
+        server, _, _, _ = make_setup(sim, n_devices=4)
+        cas = make_cas(server)
+        submit_default_task(cas)
+        sim.run(until=1900.0)
+        assert 2 <= cas.distinct_devices() <= 4

@@ -1,0 +1,87 @@
+"""Tests for simulation-time-aware logging."""
+
+from __future__ import annotations
+
+import logging
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.sim.simlog import SimLogger
+
+
+@pytest.fixture
+def capture():
+    records = []
+
+    class Handler(logging.Handler):
+        def emit(self, record):
+            records.append(record)
+
+    handler = Handler()
+    root = logging.getLogger("repro")
+    old_level = root.level
+    root.addHandler(handler)
+    root.setLevel(logging.DEBUG)
+    yield records
+    root.removeHandler(handler)
+    root.setLevel(old_level)
+
+
+class TestSimLogger:
+    def test_message_carries_sim_time(self, capture):
+        sim = Simulator()
+        log = SimLogger(sim, "repro.test")
+        sim.schedule(42.0, lambda: log.info("hello %s", "world"))
+        sim.run()
+        assert len(capture) == 1
+        message = capture[0].getMessage()
+        assert "[t=42.00s]" in message
+        assert "hello world" in message
+
+    def test_levels(self, capture):
+        sim = Simulator()
+        log = SimLogger(sim, "repro.test")
+        log.debug("d")
+        log.info("i")
+        log.warning("w")
+        log.error("e")
+        assert [r.levelno for r in capture] == [
+            logging.DEBUG,
+            logging.INFO,
+            logging.WARNING,
+            logging.ERROR,
+        ]
+
+    def test_silent_when_disabled(self, capture):
+        logging.getLogger("repro").setLevel(logging.ERROR)
+        sim = Simulator()
+        log = SimLogger(sim, "repro.test")
+        log.debug("invisible")
+        log.info("invisible")
+        assert capture == []
+
+    def test_no_formatting_cost_when_disabled(self):
+        """Lazy rendering: args are not interpolated below the level."""
+        logging.getLogger("repro.test").setLevel(logging.ERROR)
+
+        class Boom:
+            def __str__(self):
+                raise AssertionError("should not be rendered")
+
+        sim = Simulator()
+        log = SimLogger(sim, "repro.test")
+        log.debug("%s", Boom())  # must not raise
+
+
+class TestServerLogging:
+    def test_server_logs_task_acceptance_and_crash(self, capture):
+        from tests.test_core_server import make_setup, make_spec
+
+        sim = Simulator()
+        server, _, _, _ = make_setup(sim, n_devices=2)
+        server.submit_task(make_spec(sampling_duration_s=600.0), lambda p: None)
+        server.crash()
+        messages = [r.getMessage() for r in capture]
+        assert any("accepted" in m for m in messages)
+        assert any("crashed" in m for m in messages)

@@ -1,0 +1,173 @@
+"""Tests for staged tails (UMTS DCH→FACH) and stage-exact accounting."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.cellular.packets import TrafficCategory
+from repro.cellular.power import (
+    LTE_POWER_PROFILE,
+    THREEG_POWER_PROFILE,
+    RadioPowerProfile,
+    TailStage,
+)
+from repro.cellular.rrc import RadioModem, RRCState, TailPolicy
+from repro.sim.engine import Simulator
+
+P3G = THREEG_POWER_PROFILE
+
+
+class TestTailStageValidation:
+    def test_invalid_stage(self):
+        with pytest.raises(ValueError):
+            TailStage("x", duration_s=0.0, power_mw=100.0)
+
+    def test_stage_durations_must_sum_to_tail(self):
+        with pytest.raises(ValueError):
+            dataclasses.replace(
+                P3G,
+                tail_stages=(TailStage("only", duration_s=1.0, power_mw=558.0),),
+            )
+
+    def test_stage_energy_must_match_flat_average(self):
+        with pytest.raises(ValueError):
+            dataclasses.replace(
+                P3G,
+                tail_stages=(
+                    TailStage("a", duration_s=3.0, power_mw=100.0),
+                    TailStage("b", duration_s=5.0, power_mw=100.0),
+                ),
+            )
+
+    def test_builtin_3g_profile_is_consistent(self):
+        staged = sum(s.power_mw * s.duration_s for s in P3G.tail_stages)
+        assert staged == pytest.approx(P3G.tail_mw * P3G.tail_s)
+
+
+class TestTailEnergyBetween:
+    def test_flat_profile_linear(self):
+        p = LTE_POWER_PROFILE
+        assert p.tail_energy_between(0.0, 2.0) == pytest.approx(
+            (p.tail_mw - p.idle_mw) / 1000.0 * 2.0
+        )
+
+    def test_full_range_matches_flat_total(self):
+        assert P3G.tail_energy_between(0.0, P3G.tail_s) == pytest.approx(
+            P3G.tail_energy_j()
+        )
+
+    def test_dch_segment_costs_more_than_fach_segment(self):
+        dch = P3G.tail_energy_between(0.0, 2.0)
+        fach = P3G.tail_energy_between(5.0, 7.0)
+        assert dch > fach
+
+    def test_cross_stage_segment(self):
+        # [2, 4] spans 1 s of DCH (800 mW) + 1 s of FACH (412.8 mW).
+        expected = (800.0 - 10.0) / 1000.0 + (412.8 - 10.0) / 1000.0
+        assert P3G.tail_energy_between(2.0, 4.0) == pytest.approx(expected)
+
+    def test_clamping(self):
+        assert P3G.tail_energy_between(-5.0, 100.0) == pytest.approx(
+            P3G.tail_energy_j()
+        )
+        assert P3G.tail_energy_between(7.0, 3.0) == 0.0
+
+    def test_tail_power_at(self):
+        assert P3G.tail_power_at(1.0) == 800.0
+        assert P3G.tail_power_at(6.0) == 412.8
+        assert P3G.tail_power_at(100.0) == 412.8
+        assert LTE_POWER_PROFILE.tail_power_at(5.0) == LTE_POWER_PROFILE.tail_mw
+
+
+class TestStagedModemAccounting:
+    def _modem_in_tail(self, policy, *, run_until):
+        sim = Simulator()
+        modem = RadioModem(sim, P3G, "m", policy)
+        charges = []
+        modem.add_energy_listener(lambda cat, j, r: charges.append((cat, j, r)))
+        modem.transmit(10_000, TrafficCategory.BACKGROUND)
+        sim.run(until=run_until)
+        assert modem.state is RRCState.TAIL
+        return sim, modem, charges
+
+    def test_no_reset_upload_in_dch_phase_is_cheap(self):
+        """During the high-power DCH tail the displaced tail energy
+        nearly cancels the transfer's cost."""
+        sim, modem, charges = self._modem_in_tail(
+            TailPolicy.NO_RESET, run_until=3.5  # ~1.2 s into the tail: DCH
+        )
+        charges.clear()
+        modem.transmit(600, TrafficCategory.CROWDSENSING)
+        sim.run(until=30.0)
+        cost = sum(j for _, j, _ in charges)
+        transfer = P3G.transfer_time(600)
+        expected = (P3G.active_mw - 800.0) / 1000.0 * transfer  # = 0 for 3G
+        assert cost == pytest.approx(expected, abs=1e-9)
+
+    def test_no_reset_upload_in_fach_phase_costs_more(self):
+        """In the low-power FACH phase the same upload displaces cheap
+        FACH time, so its marginal cost is higher than in DCH."""
+        sim, modem, charges = self._modem_in_tail(
+            TailPolicy.NO_RESET, run_until=8.0  # ~5.7 s into the tail: FACH
+        )
+        charges.clear()
+        modem.transmit(600, TrafficCategory.CROWDSENSING)
+        sim.run(until=30.0)
+        cost = sum(j for _, j, _ in charges)
+        transfer = P3G.transfer_time(600)
+        expected = (P3G.active_mw - 412.8) / 1000.0 * transfer
+        assert cost == pytest.approx(expected, rel=1e-6)
+
+    def test_reset_during_fach_recharges_the_dch_phase(self):
+        """Resetting from deep in the tail is expensive on UMTS: the
+        radio climbs back through the full DCH tail."""
+        sim, modem, charges = self._modem_in_tail(
+            TailPolicy.RESET, run_until=8.0
+        )
+        offset = modem._tail_offset(sim.now)
+        charges.clear()
+        modem.transmit(600, TrafficCategory.CROWDSENSING)
+        sim.run(until=40.0)
+        cost = sum(j for _, j, _ in charges)
+        transfer = P3G.transfer_time(600)
+        expected = (
+            P3G.active_energy_j(transfer)
+            + P3G.tail_energy_j()
+            - P3G.tail_energy_between(offset, P3G.tail_s)
+        )
+        assert cost == pytest.approx(expected, rel=1e-6)
+
+    def test_lte_flat_behaviour_unchanged(self):
+        """The staged machinery must reduce exactly to the old flat
+        formulas for LTE (single implicit stage)."""
+        sim = Simulator()
+        modem = RadioModem(sim, LTE_POWER_PROFILE, "m", TailPolicy.NO_RESET)
+        charges = []
+        modem.add_energy_listener(lambda cat, j, r: charges.append(j))
+        modem.transmit(10_000, TrafficCategory.BACKGROUND)
+        sim.run(until=5.0)
+        charges.clear()
+        modem.transmit(600, TrafficCategory.CROWDSENSING)
+        sim.run(until=30.0)
+        transfer = LTE_POWER_PROFILE.transfer_time(600)
+        assert sum(charges) == pytest.approx(
+            LTE_POWER_PROFILE.active_energy_j(transfer, over_tail=True)
+        )
+
+    def test_resumed_tail_offset_tracks_timer(self):
+        """After a no-reset transfer the tail resumes deeper in, not at
+        the start: the offset includes the transfer time."""
+        sim = Simulator()
+        modem = RadioModem(sim, P3G, "m", TailPolicy.NO_RESET)
+        modem.transmit(10_000, TrafficCategory.BACKGROUND)
+        sim.run(until=4.0)
+        offset_before = modem._tail_offset(sim.now)
+        modem.transmit(600, TrafficCategory.CROWDSENSING)
+        transfer = P3G.transfer_time(600)
+        sim.run(until=4.0 + transfer + 0.5)
+        assert modem.state is RRCState.TAIL
+        assert modem._tail_offset(sim.now) == pytest.approx(
+            offset_before + transfer + 0.5
+        )

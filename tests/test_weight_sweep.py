@@ -1,0 +1,49 @@
+"""Tests for the selector-weight sensitivity sweep."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import weight_sweep
+from repro.experiments.common import ScenarioConfig
+
+
+@pytest.fixture(scope="module")
+def points():
+    return weight_sweep.run(ScenarioConfig(seed=7), worlds=4)
+
+
+class TestWeightSweep:
+    def test_all_settings_present(self, points):
+        assert [p.label for p in points] == [
+            label for label, _ in weight_sweep.DEFAULT_SWEEP
+        ]
+
+    def test_fairness_falls_along_sweep(self, points):
+        """The sweep is ordered fairness-heavy → TTL-heavy: Jain must
+        trend down (β-dominant settings are equivalent up to tie-break
+        noise, so allow a small tolerance between neighbours)."""
+        jains = [p.jain for p in points]
+        for a, b in zip(jains, jains[1:]):
+            assert b <= a + 0.02
+        assert jains[-1] < jains[0] - 0.05  # the ends differ clearly
+
+    def test_ttl_only_concentrates_load(self, points):
+        by_label = {p.label: p for p in points}
+        assert (
+            by_label["ttl-only"].devices_used
+            < by_label["fairness-only"].devices_used
+        )
+        assert (
+            by_label["ttl-only"].max_selections
+            >= by_label["fairness-only"].max_selections
+        )
+
+    def test_data_delivery_unaffected_by_weights(self, points):
+        """Weight choices trade energy/fairness, never data."""
+        data_counts = {p.data_points for p in points}
+        assert len(data_counts) == 1
+
+    def test_invalid_worlds(self):
+        with pytest.raises(ValueError):
+            weight_sweep.run(worlds=0)
