@@ -21,16 +21,32 @@ from typing import Dict, Iterable, List, Optional, Sequence
 from repro.environment.geometry import Point
 
 
-@dataclass(frozen=True)
+@dataclass(eq=False)
 class ENodeB:
-    """One cell tower."""
+    """One cell tower.
+
+    ``operational`` models whole-tower outages (power loss, backhaul
+    cut): a failed tower serves no traffic, and the registry
+    re-associates its devices with the nearest surviving tower.
+    Compared by identity, so towers stay usable as dict keys across
+    fail/restore transitions.
+    """
 
     tower_id: str
     position: Point
     coverage_radius_m: float = 1500.0
+    operational: bool = True
 
     def covers(self, point: Point) -> bool:
         return point.within(self.position, self.coverage_radius_m)
+
+    def fail(self) -> None:
+        """Take this tower out of service."""
+        self.operational = False
+
+    def restore(self) -> None:
+        """Bring this tower back into service."""
+        self.operational = True
 
 
 class TowerRegistry:
@@ -69,9 +85,29 @@ class TowerRegistry:
             ) from None
 
     def nearest_tower(self, point: Point) -> ENodeB:
-        return min(
-            self._towers.values(), key=lambda t: t.position.distance_to(point)
-        )
+        """Nearest *operational* tower to a point.
+
+        During a total outage (no tower operational) the plain nearest
+        tower is returned — devices stay nominally attached, and the
+        fault layer drops their traffic until a tower is restored.
+        """
+        candidates = [t for t in self._towers.values() if t.operational]
+        if not candidates:
+            candidates = list(self._towers.values())
+        return min(candidates, key=lambda t: t.position.distance_to(point))
+
+    def operational_towers(self) -> List[ENodeB]:
+        return [t for t in self._towers.values() if t.operational]
+
+    def fail_tower(self, tower_id: str) -> None:
+        """Fail a tower and re-associate its devices (handover storm)."""
+        self.tower(tower_id).fail()
+        self.refresh_attachments()
+
+    def restore_tower(self, tower_id: str) -> None:
+        """Restore a tower; devices re-associate by proximity."""
+        self.tower(tower_id).restore()
+        self.refresh_attachments()
 
     def towers_covering(self, center: Point, radius_m: float) -> List[ENodeB]:
         """Towers whose coverage intersects a task's circular region."""
@@ -117,6 +153,10 @@ class TowerRegistry:
     def serving_tower(self, device_id: str) -> ENodeB:
         self._require(device_id)
         return self._towers[self._attachment[device_id]]
+
+    def serving_tower_operational(self, device_id: str) -> bool:
+        """Whether the device's serving tower is currently in service."""
+        return self.serving_tower(device_id).operational
 
     # ------------------------------------------------------------------
     # Edge visibility used by the Sense-Aid server

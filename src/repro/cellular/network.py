@@ -7,12 +7,22 @@ core paths — *path 1* straight to the S-GW, or *path 2* through the
 Sense-Aid server when the traffic is crowdsensing-related.  Path
 counters let tests assert the interposition behaviour; a fail-safe
 flag models the paper's "path 1 if the Sense-Aid server crashes".
+
+Failure semantics live in two places, deliberately separated:
+
+- the network's own i.i.d. ``loss_probability`` and optional
+  ``delay_jitter_s`` draw from the dedicated ``network:loss`` and
+  ``network:delay`` streams, so enabling either never perturbs the
+  mobility/traffic/sensor streams of a same-seed run;
+- richer, correlated failures (bursty loss, duplication, reordering,
+  tower outages) are delegated to an installed **fault hook** (see
+  :mod:`repro.faults`), which draws from its own ``faults:*`` streams.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Optional
+from typing import Callable, List, Optional
 
 from repro.cellular.packets import Message, TrafficCategory
 from repro.sim.engine import Simulator
@@ -40,6 +50,7 @@ class CellularNetwork:
         core_latency_s: float = 0.05,
         *,
         loss_probability: float = 0.0,
+        delay_jitter_s: float = 0.0,
     ) -> None:
         if core_latency_s < 0:
             raise ValueError(
@@ -49,17 +60,57 @@ class CellularNetwork:
             raise ValueError(
                 f"loss_probability must be in [0, 1), got {loss_probability!r}"
             )
+        if delay_jitter_s < 0:
+            raise ValueError(
+                f"delay_jitter_s must be non-negative, got {delay_jitter_s!r}"
+            )
         self._sim = sim
         self._latency = core_latency_s
         #: Probability an uplink message is lost in the core after the
         #: radio transmitted it (energy spent, delivery never happens) —
         #: exercises the data-collection failure handling of §8.
         self.loss_probability = loss_probability
+        #: Uniform extra core delay in [0, delay_jitter_s) per delivery.
+        self.delay_jitter_s = delay_jitter_s
         self._loss_rng = sim.rng.stream("network:loss")
+        self._delay_rng = sim.rng.stream("network:delay")
+        self._fault_hook = None
         self._sense_aid_up = True
+        self._path_listeners: List[Callable[[bool], None]] = []
         self.path1_messages = 0
         self.path2_messages = 0
         self.messages_lost = 0
+        self.messages_dropped_by_faults = 0
+        self.messages_duplicated = 0
+
+    @property
+    def core_latency_s(self) -> float:
+        return self._latency
+
+    # ------------------------------------------------------------------
+    # Fault layer attachment
+    # ------------------------------------------------------------------
+
+    def install_fault_hook(self, hook) -> None:
+        """Attach a fault layer.
+
+        The hook duck-types two methods, ``on_uplink(device, message)``
+        and ``on_downlink(device, message)``, each returning either
+        ``None`` (no injection) or a decision object with ``drop``
+        (bool), ``extra_delay_s`` (float) and ``copy_delays`` (extra
+        deliveries, each with its own additional delay — duplication,
+        and through unequal delays, reordering).
+        """
+        if self._fault_hook is not None and hook is not None:
+            raise RuntimeError("a fault hook is already installed")
+        self._fault_hook = hook
+
+    def clear_fault_hook(self) -> None:
+        self._fault_hook = None
+
+    # ------------------------------------------------------------------
+    # Sense-Aid path availability (crash / partition fail-safe)
+    # ------------------------------------------------------------------
 
     @property
     def sense_aid_path_available(self) -> bool:
@@ -67,7 +118,24 @@ class CellularNetwork:
 
     def set_sense_aid_path_available(self, available: bool) -> None:
         """Simulate a Sense-Aid server crash / recovery (fail-safe path 1)."""
-        self._sense_aid_up = bool(available)
+        available = bool(available)
+        if available == self._sense_aid_up:
+            return
+        self._sense_aid_up = available
+        for listener in list(self._path_listeners):
+            listener(available)
+
+    def add_path_listener(self, listener: Callable[[bool], None]) -> None:
+        """Subscribe to Sense-Aid path up/down transitions.
+
+        Clients use this to enter/leave degraded mode when the control
+        plane becomes unreachable (crash or partition).
+        """
+        self._path_listeners.append(listener)
+
+    def remove_path_listener(self, listener: Callable[[bool], None]) -> None:
+        if listener in self._path_listeners:
+            self._path_listeners.remove(listener)
 
     def route_for(self, message: Message) -> str:
         """Crowdsensing/control traffic interposes through Sense-Aid."""
@@ -90,7 +158,9 @@ class CellularNetwork:
         """Send ``message`` from ``device`` to the server side.
 
         Drives the device's radio (which performs energy attribution)
-        and delivers the message after the core-network latency.
+        and delivers the message after the core-network latency.  Loss
+        (i.i.d. or injected) strikes *after* the radio transmitted:
+        energy is spent either way.
         """
         self._count_path(message)
         path = self.route_for(message)
@@ -104,6 +174,14 @@ class CellularNetwork:
             ):
                 self.messages_lost += 1
                 return
+            decision = (
+                self._fault_hook.on_uplink(device, message)
+                if self._fault_hook is not None
+                else None
+            )
+            if decision is not None and decision.drop:
+                self.messages_dropped_by_faults += 1
+                return
             if on_delivered is None:
                 return
 
@@ -116,7 +194,8 @@ class CellularNetwork:
                 )
                 on_delivered(message, receipt)
 
-            self._sim.schedule(self._latency, deliver)
+            for delay in self._delivery_delays(decision):
+                self._sim.schedule(delay, deliver)
 
         device.modem.transmit(
             message.size_bytes,
@@ -158,7 +237,35 @@ class CellularNetwork:
                 on_complete=delivered_to_radio,
             )
 
-        self._sim.schedule(self._latency, start_radio)
+        decision = (
+            self._fault_hook.on_downlink(device, message)
+            if self._fault_hook is not None
+            else None
+        )
+        if decision is not None and decision.drop:
+            self.messages_dropped_by_faults += 1
+            return
+        for delay in self._delivery_delays(decision):
+            self._sim.schedule(delay, start_radio)
+
+    def _delivery_delays(self, decision) -> List[float]:
+        """Core-transit delays for one message's deliveries.
+
+        One entry per copy: the original plus any injected duplicates.
+        The i.i.d. jitter is drawn once per message from the dedicated
+        ``network:delay`` stream (and only when the feature is on, so a
+        jitter-free run makes zero draws).
+        """
+        base = self._latency
+        if self.delay_jitter_s > 0.0:
+            base += self._delay_rng.random() * self.delay_jitter_s
+        if decision is None:
+            return [base]
+        delays = [base + decision.extra_delay_s]
+        for copy_delay in decision.copy_delays:
+            self.messages_duplicated += 1
+            delays.append(base + copy_delay)
+        return delays
 
     def _count_path(self, message: Message) -> None:
         if self.route_for(message) == self.PATH_SENSE_AID:

@@ -8,6 +8,6 @@ which point sensing and upload happen nearly for free; a
 deadline-grace timer force-uploads if no tail arrives in time.
 """
 
-from repro.clientlib.client import PendingAssignment, SenseAidClient
+from repro.clientlib.client import ClientStats, PendingAssignment, SenseAidClient
 
-__all__ = ["PendingAssignment", "SenseAidClient"]
+__all__ = ["ClientStats", "PendingAssignment", "SenseAidClient"]

@@ -16,6 +16,21 @@ control plane at each tail entry, mirroring the paper's service thread
 that "sends these control messages to the proxy server only when the
 radio tail time is found" — and, like the paper, their energy is
 excluded from the crowdsensing account.
+
+Hardening against the chaos layer (see :mod:`repro.faults`):
+
+- with a :class:`~repro.core.config.RetryPolicy`, every upload is
+  tracked until the server's ack arrives; unacknowledged uploads are
+  retried with exponential backoff and deterministic jitter, capped
+  attempts, and tail-aware scheduling (a due retry waits for the next
+  CONNECTED window before paying a cold promotion).  Retransmissions
+  reuse the original reading and carry an attempt-independent
+  ``upload_id``, so the server's idempotency keys count them once;
+- with a :class:`~repro.core.config.DegradedModePolicy`, losing the
+  Sense-Aid path (crash or partition) drops the client into the
+  paper's §3 fail-safe: autonomous periodic path-1 uploads, then a
+  resync (state report + replay of unacknowledged uploads) on
+  recovery.
 """
 
 from __future__ import annotations
@@ -26,11 +41,13 @@ from typing import Dict, List, Optional
 from repro.cellular.network import CellularNetwork
 from repro.cellular.packets import sensor_data_message
 from repro.cellular.rrc import RRCState
+from repro.core.config import DegradedModePolicy, RetryPolicy
 from repro.core.server import Assignment, SenseAidServer
 from repro.devices.device import SimDevice
-from repro.devices.sensors import SensorReading
+from repro.devices.sensors import SensorReading, SensorType
 from repro.sim.engine import Simulator
 from repro.sim.events import Event
+from repro.sim.simlog import SimLogger
 
 
 @dataclass
@@ -43,6 +60,20 @@ class PendingAssignment:
 
 
 @dataclass
+class _UploadState:
+    """One upload awaiting the server's ack (retry bookkeeping)."""
+
+    assignment: Assignment
+    reading: SensorReading
+    upload_id: str
+    attempts: int = 0
+    acked: bool = False
+    waiting_for_tail: bool = False
+    ack_timer: Optional[Event] = None
+    retry_timer: Optional[Event] = None
+
+
+@dataclass
 class ClientStats:
     """Where this client's uploads happened (for diagnostics/tests)."""
 
@@ -51,6 +82,13 @@ class ClientStats:
     uploads_piggybacked: int = 0
     uploads_forced: int = 0
     state_reports: int = 0
+    uploads_retried: int = 0
+    uploads_acked: int = 0
+    uploads_abandoned: int = 0
+    retries_in_tail: int = 0
+    degraded_entries: int = 0
+    degraded_uploads: int = 0
+    resync_uploads: int = 0
 
     @property
     def uploads_total(self) -> int:
@@ -66,6 +104,9 @@ class SenseAidClient:
         device: SimDevice,
         server: SenseAidServer,
         network: CellularNetwork,
+        *,
+        retry_policy: Optional[RetryPolicy] = None,
+        degraded_policy: Optional[DegradedModePolicy] = None,
     ) -> None:
         self._sim = sim
         self._device = device
@@ -73,8 +114,25 @@ class SenseAidClient:
         self._network = network
         self._pending: Dict[str, PendingAssignment] = {}
         self._registered = False
+        self._powered = True
         self.stats = ClientStats()
+        self.retry_policy = retry_policy
+        self.degraded_policy = degraded_policy
+        self._inflight: Dict[str, _UploadState] = {}
+        self._degraded = False
+        self._degraded_timer: Optional[Event] = None
+        self._last_sensor_type: Optional[SensorType] = None
+        self.log = SimLogger(sim, "repro.clientlib")
+        # The retry jitter stream is created only when retries are on,
+        # so legacy (no-retry) runs make exactly the draws they used to.
+        self._retry_rng = (
+            sim.rng.stream(f"retry:{device.device_id}")
+            if retry_policy is not None
+            else None
+        )
         device.modem.add_state_listener(self._on_radio_state)
+        if degraded_policy is not None:
+            network.add_path_listener(self._on_path_change)
 
     @property
     def device(self) -> SimDevice:
@@ -91,6 +149,20 @@ class SenseAidClient:
     @property
     def pending_count(self) -> int:
         return len(self._pending)
+
+    @property
+    def inflight_count(self) -> int:
+        """Uploads transmitted but not yet acknowledged (retry mode)."""
+        return len(self._inflight)
+
+    @property
+    def degraded(self) -> bool:
+        """True while in autonomous path-1 fallback mode."""
+        return self._degraded
+
+    @property
+    def powered(self) -> bool:
+        return self._powered
 
     # ------------------------------------------------------------------
     # The paper's five-call client API
@@ -109,6 +181,7 @@ class SenseAidClient:
         for pending in self._pending.values():
             self._cancel_force_timer(pending)
         self._pending.clear()
+        self._abandon_inflight()
         self._server.deregister_device(self._device.device_id)
         self._registered = False
 
@@ -162,15 +235,41 @@ class SenseAidClient:
     def send_sense_data(
         self, assignment: Assignment, reading: SensorReading
     ) -> None:
-        """Upload one reading for an assignment over the data path."""
+        """Upload one reading for an assignment over the data path.
+
+        Without a retry policy this is the legacy fire-and-forget
+        transfer; with one, the upload is tracked until acknowledged
+        and retransmitted on timeout.
+        """
+        if self.retry_policy is None:
+            self._transmit_legacy(assignment, reading)
+            return
+        request_id = assignment.request.request_id
+        state = _UploadState(
+            assignment=assignment,
+            reading=reading,
+            upload_id=f"{self._device.device_id}:{request_id}",
+        )
+        self._inflight[request_id] = state
+        self._transmit_upload(state)
+
+    # ------------------------------------------------------------------
+    # Upload transmission, acks, and retries
+    # ------------------------------------------------------------------
+
+    def _upload_payload(self, assignment: Assignment, reading: SensorReading) -> dict:
+        return {
+            "device_id": self._device.device_id,
+            "request_id": assignment.request.request_id,
+            "value": reading.value,
+            "sensed_at": reading.time,
+        }
+
+    def _transmit_legacy(
+        self, assignment: Assignment, reading: SensorReading
+    ) -> None:
         message = sensor_data_message(
-            self._device.device_id,
-            {
-                "device_id": self._device.device_id,
-                "request_id": assignment.request.request_id,
-                "value": reading.value,
-                "sensed_at": reading.time,
-            },
+            self._device.device_id, self._upload_payload(assignment, reading)
         )
         self._network.uplink(
             self._device,
@@ -184,12 +283,231 @@ class SenseAidClient:
         message.payload["battery_pct"] = self._device.battery.level_pct
         message.payload["energy_used_j"] = self._device.crowdsensing_energy_j()
 
+    def _transmit_upload(self, state: _UploadState) -> None:
+        state.attempts += 1
+        state.waiting_for_tail = False
+        self._cancel_timer(state, "retry_timer")
+        request_id = state.assignment.request.request_id
+        payload = self._upload_payload(state.assignment, state.reading)
+        payload["upload_id"] = state.upload_id
+        payload["attempt"] = state.attempts
+        message = sensor_data_message(self._device.device_id, payload)
+
+        def delivered(msg, receipt) -> None:
+            # The server's processing is idempotent; delivery also
+            # triggers the ack back to this client after one more core
+            # transit.  A duplicated delivery acks twice — harmless.
+            self._server.receive_sensed_data(msg, receipt)
+            self._sim.schedule(
+                self._network.core_latency_s, self._on_upload_acked, request_id
+            )
+
+        self._network.uplink(
+            self._device,
+            message,
+            on_delivered=delivered,
+            resets_tail=self._server.crowdsensing_resets_tail(),
+        )
+        message.payload["battery_pct"] = self._device.battery.level_pct
+        message.payload["energy_used_j"] = self._device.crowdsensing_energy_j()
+        if state.attempts > 1:
+            self.stats.uploads_retried += 1
+            self.log.event(
+                "retry",
+                device_id=self._device.device_id,
+                request_id=request_id,
+                attempt=state.attempts,
+            )
+        self._cancel_timer(state, "ack_timer")
+        state.ack_timer = self._sim.schedule(
+            self.retry_policy.ack_timeout_s, self._on_ack_timeout, request_id
+        )
+
+    def _on_upload_acked(self, request_id: str) -> None:
+        state = self._inflight.pop(request_id, None)
+        if state is None:
+            return  # already acked (duplicate delivery) or abandoned
+        state.acked = True
+        self._cancel_timer(state, "ack_timer")
+        self._cancel_timer(state, "retry_timer")
+        self.stats.uploads_acked += 1
+        self.log.event(
+            "upload_acked",
+            device_id=self._device.device_id,
+            request_id=request_id,
+            attempts=state.attempts,
+        )
+
+    def _on_ack_timeout(self, request_id: str) -> None:
+        state = self._inflight.get(request_id)
+        if state is None or not self._powered:
+            return
+        if self._degraded:
+            # Control plane unreachable: retrying is futile.  Hold the
+            # upload; recovery resync will replay it.
+            return
+        if state.attempts >= self.retry_policy.max_attempts:
+            self._inflight.pop(request_id, None)
+            self.stats.uploads_abandoned += 1
+            self.log.event(
+                "upload_abandoned",
+                device_id=self._device.device_id,
+                request_id=request_id,
+                attempts=state.attempts,
+            )
+            return
+        backoff = self.retry_policy.backoff_s(state.attempts)
+        jitter = self.retry_policy.jitter_fraction
+        if jitter > 0.0:
+            backoff *= 1.0 + jitter * (2.0 * self._retry_rng.random() - 1.0)
+        state.retry_timer = self._sim.schedule(
+            backoff, self._on_retry_due, request_id
+        )
+
+    def _on_retry_due(self, request_id: str) -> None:
+        state = self._inflight.get(request_id)
+        if state is None or not self._powered or self._degraded:
+            return
+        if self._device.modem.is_connected or self._device.modem.in_tail:
+            self.stats.retries_in_tail += 1
+            self._transmit_upload(state)
+            return
+        # Radio idle: wait for the next CONNECTED window, but never
+        # past the deadline-grace point (or the policy's patience cap)
+        # — retries keep the same energy/deadline discipline as first
+        # uploads.
+        state.waiting_for_tail = True
+        force_at = self._sim.now + self.retry_policy.tail_wait_max_s
+        grace_at = (
+            state.assignment.deadline - self._server.config.deadline_grace_s
+        )
+        if grace_at > self._sim.now:
+            force_at = min(force_at, grace_at)
+        state.retry_timer = self._sim.schedule_at(
+            force_at, self._on_retry_forced, request_id
+        )
+
+    def _on_retry_forced(self, request_id: str) -> None:
+        state = self._inflight.get(request_id)
+        if state is None or not self._powered or self._degraded:
+            return
+        if state.waiting_for_tail:
+            self._transmit_upload(state)
+
+    def _abandon_inflight(self) -> None:
+        for state in self._inflight.values():
+            self._cancel_timer(state, "ack_timer")
+            self._cancel_timer(state, "retry_timer")
+        self._inflight.clear()
+
+    def _cancel_timer(self, state: _UploadState, name: str) -> None:
+        timer = getattr(state, name)
+        if timer is not None:
+            self._sim.cancel(timer)
+            setattr(state, name, None)
+
+    # ------------------------------------------------------------------
+    # Degraded mode (control plane unreachable)
+    # ------------------------------------------------------------------
+
+    def _on_path_change(self, available: bool) -> None:
+        if not self._powered:
+            return
+        if not available and not self._degraded:
+            self._enter_degraded()
+        elif available and self._degraded:
+            self._exit_degraded()
+
+    def _enter_degraded(self) -> None:
+        self._degraded = True
+        self.stats.degraded_entries += 1
+        self.log.event("degraded_enter", device_id=self._device.device_id)
+        self._degraded_timer = self._sim.schedule(
+            self.degraded_policy.period_s, self._degraded_tick
+        )
+
+    def _degraded_tick(self) -> None:
+        if not self._degraded or not self._powered:
+            return
+        # Autonomous path-1 periodic upload: sample the last-known task
+        # sensor and push it straight to the S-GW (no Sense-Aid in the
+        # loop, cold radio economics — the price of the fail-safe).
+        if self._last_sensor_type is not None:
+            reading = self._device.sample(self._last_sensor_type)
+            message = sensor_data_message(
+                self._device.device_id,
+                {
+                    "device_id": self._device.device_id,
+                    "value": reading.value,
+                    "sensed_at": reading.time,
+                    "autonomous": True,
+                },
+            )
+            self._network.uplink(self._device, message)
+            self.stats.degraded_uploads += 1
+            self.log.event(
+                "degraded_upload",
+                device_id=self._device.device_id,
+                sensor=self._last_sensor_type.name,
+            )
+        self._degraded_timer = self._sim.schedule(
+            self.degraded_policy.period_s, self._degraded_tick
+        )
+
+    def _exit_degraded(self) -> None:
+        self._degraded = False
+        if self._degraded_timer is not None:
+            self._sim.cancel(self._degraded_timer)
+            self._degraded_timer = None
+        self.log.event(
+            "degraded_exit",
+            device_id=self._device.device_id,
+            resync_uploads=len(self._inflight),
+        )
+        if self.degraded_policy.resync_on_recovery and self._registered:
+            # Resync: tell the server where we stand, then replay every
+            # unacknowledged upload.  The server's idempotency keys
+            # make replay safe (acked-but-unconfirmed counts once).
+            self._send_state_report()
+            for state in list(self._inflight.values()):
+                self.stats.resync_uploads += 1
+                self._transmit_upload(state)
+
+    # ------------------------------------------------------------------
+    # Device churn (chaos layer)
+    # ------------------------------------------------------------------
+
+    def power_off(self) -> None:
+        """Abrupt death: battery out, no deregistration, no goodbyes.
+
+        All client-side timers stop and future assignments are
+        ignored; the server only learns through missed deliveries
+        (unresponsive strikes) or reassignment.
+        """
+        if not self._powered:
+            return
+        self._powered = False
+        for pending in self._pending.values():
+            self._cancel_force_timer(pending)
+        self._pending.clear()
+        self._abandon_inflight()
+        if self._degraded_timer is not None:
+            self._sim.cancel(self._degraded_timer)
+            self._degraded_timer = None
+        self._degraded = False
+        if self._device.traffic.running:
+            self._device.traffic.stop()
+        self.log.event("power_off", device_id=self._device.device_id)
+
     # ------------------------------------------------------------------
     # Assignment handling
     # ------------------------------------------------------------------
 
     def _on_assignment(self, assignment: Assignment) -> None:
+        if not self._powered:
+            return
         self.stats.assignments_received += 1
+        self._last_sensor_type = assignment.sensor_type
         pending = PendingAssignment(assignment=assignment)
         self._pending[assignment.request.request_id] = pending
         if self._device.modem.state in (RRCState.ACTIVE, RRCState.PROMOTING):
@@ -205,10 +523,11 @@ class SenseAidClient:
         )
 
     def _on_radio_state(self, old: RRCState, new: RRCState) -> None:
-        if new is not RRCState.TAIL:
+        if new is not RRCState.TAIL or not self._powered:
             return
         self._flush_pending_in_tail()
-        if self._registered:
+        self._flush_retries_in_tail()
+        if self._registered and not self._degraded:
             self._send_state_report()
 
     def _flush_pending_in_tail(self) -> None:
@@ -217,6 +536,16 @@ class SenseAidClient:
             if pending is None or pending.completed:
                 continue
             self._complete(pending, "tail")
+
+    def _flush_retries_in_tail(self) -> None:
+        if self.retry_policy is None or self._degraded:
+            return
+        for request_id in list(self._inflight):
+            state = self._inflight.get(request_id)
+            if state is None or not state.waiting_for_tail:
+                continue
+            self.stats.retries_in_tail += 1
+            self._transmit_upload(state)
 
     def _force_upload(self, request_id: str) -> None:
         pending = self._pending.get(request_id)

@@ -78,6 +78,71 @@ class SelectorWeights:
 
 
 @dataclass(frozen=True)
+class RetryPolicy:
+    """Client-side upload retry policy (exponential backoff).
+
+    An upload is considered acknowledged when the server's ack comes
+    back within ``ack_timeout_s``; otherwise the client retries with
+    backoff ``backoff_base_s · backoff_multiplier^(attempt−1)`` capped
+    at ``backoff_max_s``, jittered by ±``jitter_fraction`` (drawn from
+    the client's own deterministic ``retry:<device>`` stream), up to
+    ``max_attempts`` total transmissions.  Retries are tail-aware: a
+    due retry waits up to ``tail_wait_max_s`` for the radio's next
+    CONNECTED window before forcing a cold transmission, so retry
+    traffic keeps the energy discipline of first-try uploads.
+    """
+
+    max_attempts: int = 4
+    ack_timeout_s: float = 30.0
+    backoff_base_s: float = 10.0
+    backoff_multiplier: float = 2.0
+    backoff_max_s: float = 300.0
+    jitter_fraction: float = 0.2
+    tail_wait_max_s: float = 60.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
+        for name in ("ack_timeout_s", "backoff_base_s", "backoff_max_s"):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive")
+        if self.backoff_multiplier < 1.0:
+            raise ValueError("backoff_multiplier must be >= 1")
+        if not 0.0 <= self.jitter_fraction < 1.0:
+            raise ValueError("jitter_fraction must be in [0, 1)")
+        if self.tail_wait_max_s < 0:
+            raise ValueError("tail_wait_max_s must be non-negative")
+
+    def backoff_s(self, attempt: int) -> float:
+        """Nominal (un-jittered) backoff after the given attempt number."""
+        if attempt < 1:
+            raise ValueError("attempt numbers start at 1")
+        raw = self.backoff_base_s * self.backoff_multiplier ** (attempt - 1)
+        return min(self.backoff_max_s, raw)
+
+
+@dataclass(frozen=True)
+class DegradedModePolicy:
+    """Client fail-safe when the Sense-Aid control plane is unreachable.
+
+    The paper's §3 fail-safe keeps *regular* traffic alive on path 1
+    when the Sense-Aid server disappears; this policy extends it to the
+    sensing function: the client falls back to autonomous periodic
+    sampling/uploading over path 1 (plain participatory sensing, cold
+    radio costs and all) every ``period_s``, and on recovery resyncs —
+    a state report plus retransmission of every unacknowledged upload,
+    which the server's idempotency keys make safe to replay.
+    """
+
+    period_s: float = 600.0
+    resync_on_recovery: bool = True
+
+    def __post_init__(self) -> None:
+        if self.period_s <= 0:
+            raise ValueError("period_s must be positive")
+
+
+@dataclass(frozen=True)
 class SenseAidConfig:
     """Tunable parameters of one server instance."""
 
@@ -109,10 +174,21 @@ class SenseAidConfig:
     min_reliability: float = 0.0
     #: Assignment delivery mechanism (see :class:`ControlPlane`).
     control_plane: ControlPlane = ControlPlane.PULL
-    #: When set, the server re-checks each request this many seconds
-    #: before its deadline and assigns substitute devices for any
-    #: readings that have not arrived (lost uploads, vanished devices —
-    #: the §8 data-collection-failure handling).  None disables.
+    #: Deadline reassignment is an explicit two-mode setting:
+    #:
+    #: - ``None`` — reassignment **off** (the paper's stock behaviour):
+    #:   a request whose readings never arrive simply misses its
+    #:   density; ``reassignment_enabled`` is False.
+    #: - a positive float — reassignment **on**: the server re-checks
+    #:   each request this many seconds before its deadline and assigns
+    #:   substitute devices for any readings that have not arrived
+    #:   (lost uploads, vanished devices — the §8 data-collection-
+    #:   failure handling).  Must be strictly smaller than
+    #:   ``deadline_grace_s`` so originals get their forced-upload
+    #:   chance first.
+    #:
+    #: Any other value (zero, negative, bool, non-number) is rejected
+    #: in ``__post_init__`` — "off" is only ever spelled ``None``.
     reassign_margin_s: Optional[float] = None
     #: After this many consecutive missed deliveries a device is marked
     #: unresponsive and excluded from selection ("if a mobile device
@@ -143,8 +219,18 @@ class SenseAidConfig:
         if self.epoch_reset_period_s is not None and self.epoch_reset_period_s <= 0:
             raise ValueError("epoch_reset_period_s must be positive or None")
         if self.reassign_margin_s is not None:
+            if isinstance(self.reassign_margin_s, bool) or not isinstance(
+                self.reassign_margin_s, (int, float)
+            ):
+                raise TypeError(
+                    "reassign_margin_s must be None (reassignment off) or a "
+                    f"positive number, got {self.reassign_margin_s!r}"
+                )
             if self.reassign_margin_s <= 0:
-                raise ValueError("reassign_margin_s must be positive or None")
+                raise ValueError(
+                    "reassign_margin_s must be positive; to disable "
+                    "reassignment, pass None explicitly"
+                )
             if self.reassign_margin_s >= self.deadline_grace_s:
                 raise ValueError(
                     "reassign_margin_s must be smaller than deadline_grace_s: "
@@ -155,3 +241,9 @@ class SenseAidConfig:
             raise ValueError("min_reliability must be in [0, 1)")
         if self.unresponsive_strikes is not None and self.unresponsive_strikes <= 0:
             raise ValueError("unresponsive_strikes must be positive or None")
+
+    @property
+    def reassignment_enabled(self) -> bool:
+        """True when the deadline-reassignment mode is on (see
+        ``reassign_margin_s``)."""
+        return self.reassign_margin_s is not None

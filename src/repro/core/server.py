@@ -118,6 +118,7 @@ class ServerStats:
     assignments: int = 0
     requests_lost_to_crash: int = 0
     reassignments: int = 0
+    duplicate_uploads: int = 0
 
 
 DataCallback = Callable[[SensedDataPoint], None]
@@ -156,6 +157,7 @@ class SenseAidServer:
         self._assignment_handlers: Dict[str, AssignmentHandler] = {}
         self._data_callbacks: Dict[str, DataCallback] = {}
         self._tracking: Dict[str, _RequestTracking] = {}
+        self._seen_upload_ids: Set[str] = set()
         self._crashed = False
         self.log = SimLogger(sim, "repro.core.server")
         self.privacy = (
@@ -435,7 +437,7 @@ class SenseAidServer:
             self._sim.schedule_at(
                 request.deadline, self.privacy.close_request, request.request_id
             )
-        if self.config.reassign_margin_s is not None:
+        if self.config.reassignment_enabled:
             check_at = request.deadline - self.config.reassign_margin_s
             if check_at > now:
                 self._sim.schedule_at(
@@ -501,6 +503,8 @@ class SenseAidServer:
         tracking = self._tracking.get(request_id)
         if tracking is None:
             return
+        if tracking.request.task.task_id not in self.tasks:
+            return  # task deleted after scheduling; nothing to top up
         missing = len(tracking.assigned) - len(tracking.received)
         if missing <= 0:
             return
@@ -580,7 +584,15 @@ class SenseAidServer:
     # ------------------------------------------------------------------
 
     def receive_sensed_data(self, message: Message, receipt: DeliveryReceipt) -> None:
-        """Network delivery callback for SENSOR_DATA uploads."""
+        """Network delivery callback for SENSOR_DATA uploads.
+
+        Idempotent: each upload carries an attempt-independent
+        ``upload_id`` (``device:request``), and only the first arrival
+        is processed.  Network duplicates and client retries of an
+        already-delivered attempt are acknowledged (delivery *is* the
+        ack trigger on the client side) but counted exactly once, so
+        the application server never double-counts a reading.
+        """
         if self._crashed:
             return  # traffic bypassed us on path 1
         if message.kind is not MessageKind.SENSOR_DATA:
@@ -588,6 +600,16 @@ class SenseAidServer:
         payload = message.payload
         device_id = payload["device_id"]
         request_id = payload["request_id"]
+        explicit_id = payload.get("upload_id")
+        upload_id = explicit_id or f"{device_id}:{request_id}"
+        if explicit_id is not None and upload_id in self._seen_upload_ids:
+            # A retransmission (or network duplicate) of an upload we
+            # already accepted: short-circuit before any bookkeeping.
+            # Only explicit ids — stamped by retry-capable clients and
+            # identical across attempts — qualify for this fast path;
+            # derived keys go through validation first, like always.
+            self._note_duplicate(upload_id, device_id, request_id, payload)
+            return
         if device_id in self.devices:
             self.devices.update_state(
                 device_id,
@@ -606,8 +628,13 @@ class SenseAidServer:
         if device_id not in tracking.assigned:
             return  # upload from a device this request never selected
         if device_id in tracking.received:
-            return  # duplicate upload
+            self._note_duplicate(upload_id, device_id, request_id, payload)
+            return
         tracking.received.add(device_id)
+        # Only *accepted* readings burn their idempotency key: an
+        # invalid or unassigned arrival above is not "the" upload, and
+        # a later legitimate one must still be able to land.
+        self._seen_upload_ids.add(upload_id)
         self.devices.note_valid_data(device_id)
         # A delivery proves the device is alive: clear its strikes and
         # restore eligibility.
@@ -623,6 +650,19 @@ class SenseAidServer:
             tracking.satisfied = True
             self.stats.requests_satisfied += 1
         self._forward_to_application(tracking.request, device_id, payload)
+
+    def _note_duplicate(
+        self, upload_id: str, device_id: str, request_id: str, payload: dict
+    ) -> None:
+        """Count and log a deduplicated upload (acked, never forwarded)."""
+        self.stats.duplicate_uploads += 1
+        self.log.event(
+            "dedup",
+            upload_id=upload_id,
+            device_id=device_id,
+            request_id=request_id,
+            attempt=payload.get("attempt"),
+        )
 
     def _validate_reading(
         self, request: SensingRequest, device_id: str, payload: dict

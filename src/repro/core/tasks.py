@@ -23,6 +23,19 @@ from repro.environment.geometry import Point
 _task_ids = itertools.count(1)
 
 
+def reset_task_ids(start: int = 1) -> None:
+    """Rewind the global task-id counter.
+
+    Task ids are allocated from a process-global counter, so two
+    otherwise-identical simulations run back to back in one process get
+    different ``task_id``s (and hence different request ids).  Replay
+    harnesses that compare structured event logs bit-for-bit must call
+    this before each run.
+    """
+    global _task_ids
+    _task_ids = itertools.count(start)
+
+
 @dataclass(frozen=True)
 class TaskSpec:
     """One crowdsensing task as submitted by an application server."""

@@ -1,0 +1,41 @@
+"""Deterministic, scenario-driven fault injection (chaos layer).
+
+Compose a :class:`FaultPlan` (what breaks, when), hand it to a
+:class:`FaultInjector` bound to the live network/registry/server, and
+run the simulation: bursty loss, delays, duplicates, reordering, tower
+outages, partitions, and device churn all fire on schedule, drawn from
+dedicated ``faults:*`` RNG streams so the rest of the world is
+bit-identical to the fault-free same-seed run.
+"""
+
+from repro.faults.injector import FaultDecision, FaultInjector, FaultStats
+from repro.faults.models import GilbertElliott
+from repro.faults.plan import FaultEvent, FaultPlan
+
+
+def reset_global_ids() -> None:
+    """Reset process-global id counters (task ids, message ids).
+
+    Named RNG streams make a single run reproducible, but task and
+    message ids are allocated from process-global counters, so two
+    same-seed runs executed back to back in one process would otherwise
+    disagree on every id baked into the event log.  Replay harnesses
+    (and the chaos benchmark's bit-identity check) call this before
+    each run.
+    """
+    from repro.cellular.packets import reset_message_ids
+    from repro.core.tasks import reset_task_ids
+
+    reset_message_ids()
+    reset_task_ids()
+
+
+__all__ = [
+    "FaultDecision",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultStats",
+    "GilbertElliott",
+    "reset_global_ids",
+]

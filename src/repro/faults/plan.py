@@ -1,0 +1,154 @@
+"""The fault schedule: *what* breaks, *when*, and optionally *if*.
+
+A :class:`FaultPlan` is a declarative list of timed injections the
+:class:`~repro.faults.injector.FaultInjector` executes against a live
+simulation.  Building the plan is side-effect-free, so the same plan
+object can drive many runs (the chaos benchmark's determinism check
+re-runs one plan and demands bit-identical logs).
+
+Every entry may carry a ``condition`` — a zero-argument predicate
+evaluated at fire time; a False skips the injection (e.g. "partition
+only if the server has not already crashed").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled injection."""
+
+    at: float
+    action: str
+    kwargs: Dict[str, Any] = field(default_factory=dict)
+    condition: Optional[Callable[[], bool]] = None
+
+    def __post_init__(self) -> None:
+        if self.at < 0:
+            raise ValueError(f"fault time must be non-negative, got {self.at!r}")
+
+
+class FaultPlan:
+    """Ordered schedule of fault injections (builder-style API)."""
+
+    #: Actions the injector knows how to execute.
+    ACTIONS = (
+        "tower_down",
+        "tower_up",
+        "partition",
+        "heal",
+        "kill_device",
+        "deregister_device",
+        "set_loss_model",
+        "clear_loss_model",
+        "set_delay",
+        "set_duplication",
+    )
+
+    def __init__(self) -> None:
+        self._events: List[FaultEvent] = []
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    @property
+    def events(self) -> Tuple[FaultEvent, ...]:
+        """Events in firing order (stable for equal times)."""
+        return tuple(sorted(self._events, key=lambda e: e.at))
+
+    def add(
+        self,
+        at: float,
+        action: str,
+        condition: Optional[Callable[[], bool]] = None,
+        **kwargs: Any,
+    ) -> "FaultPlan":
+        """Append one injection; unknown actions are rejected eagerly."""
+        if action not in self.ACTIONS:
+            raise ValueError(
+                f"unknown fault action {action!r}; known: {self.ACTIONS}"
+            )
+        self._events.append(
+            FaultEvent(at=at, action=action, kwargs=kwargs, condition=condition)
+        )
+        return self
+
+    # ------------------------------------------------------------------
+    # Convenience builders (all chainable)
+    # ------------------------------------------------------------------
+
+    def tower_down(
+        self,
+        at: float,
+        tower_id: str,
+        *,
+        restore_after: Optional[float] = None,
+        condition: Optional[Callable[[], bool]] = None,
+    ) -> "FaultPlan":
+        """Fail a tower; optionally schedule its restoration too."""
+        self.add(at, "tower_down", condition, tower_id=tower_id)
+        if restore_after is not None:
+            if restore_after <= 0:
+                raise ValueError("restore_after must be positive")
+            self.add(at + restore_after, "tower_up", None, tower_id=tower_id)
+        return self
+
+    def tower_up(self, at: float, tower_id: str) -> "FaultPlan":
+        return self.add(at, "tower_up", tower_id=tower_id)
+
+    def partition(
+        self,
+        at: float,
+        *,
+        heal_after: Optional[float] = None,
+        condition: Optional[Callable[[], bool]] = None,
+    ) -> "FaultPlan":
+        """Cut the core path between the RAN and the Sense-Aid edge.
+
+        Regular traffic fail-safes to path 1 (the paper's §3 design);
+        crowdsensing devices lose their control plane and — if so
+        configured — drop into degraded autonomous mode.
+        """
+        self.add(at, "partition", condition)
+        if heal_after is not None:
+            if heal_after <= 0:
+                raise ValueError("heal_after must be positive")
+            self.add(at + heal_after, "heal")
+        return self
+
+    def heal(self, at: float) -> "FaultPlan":
+        return self.add(at, "heal")
+
+    def kill_device(self, at: float, device_id: str) -> "FaultPlan":
+        """Abrupt device death (battery exhaustion, power-off)."""
+        return self.add(at, "kill_device", device_id=device_id)
+
+    def deregister_device(self, at: float, device_id: str) -> "FaultPlan":
+        """Server-side record loss: the device vanishes unannounced."""
+        return self.add(at, "deregister_device", device_id=device_id)
+
+    def set_loss_model(self, at: float, model) -> "FaultPlan":
+        """Install (or replace) the bursty-loss model from this time on."""
+        return self.add(at, "set_loss_model", model=model)
+
+    def clear_loss_model(self, at: float) -> "FaultPlan":
+        return self.add(at, "clear_loss_model")
+
+    def set_delay(
+        self,
+        at: float,
+        *,
+        probability: float,
+        delay_range_s: Tuple[float, float],
+    ) -> "FaultPlan":
+        """Inject extra per-message core delay (reordering's raw material)."""
+        return self.add(
+            at, "set_delay", probability=probability, delay_range_s=delay_range_s
+        )
+
+    def set_duplication(self, at: float, *, probability: float) -> "FaultPlan":
+        """Duplicate messages in the core with the given probability."""
+        return self.add(at, "set_duplication", probability=probability)

@@ -220,3 +220,72 @@ class TestUnresponsiveStrikes:
     def test_margin_must_fit_inside_grace(self):
         with pytest.raises(ValueError):
             SenseAidConfig(deadline_grace_s=5.0, reassign_margin_s=60.0)
+
+
+class TestReassignmentEdgeCases:
+    """The unhappy paths of ``_reassign_missing``: nobody left to draft,
+    substitutes that are just as dead, and the check racing a task
+    deletion."""
+
+    def _silence(self, server, device_id):
+        """Assignments still reach the device but nothing comes back."""
+        server._assignment_handlers[device_id] = lambda assignment: None
+
+    def test_no_qualified_substitute_available(self):
+        # Every registered device is already assigned, so when one goes
+        # silent there is nobody to draft: the check must be a no-op,
+        # not a crash, and the request simply fails.
+        sim = Simulator(seed=5)
+        server, _, _, _ = lossy_setup(sim, 2, loss=0.0, reassign_margin_s=60.0)
+        self._silence(server, "d0")
+        server.submit_task(
+            make_spec(
+                spatial_density=2, sampling_period_s=None, sampling_duration_s=None
+            ),
+            lambda p: None,
+        )
+        sim.run(until=400.0)
+        server.shutdown()
+        assert server.stats.reassignments == 0
+        assert server.stats.requests_satisfied == 0
+
+    def test_substitute_also_times_out(self):
+        # The drafted substitute is no healthier than the original;
+        # reassignment happens but the request still fails, and the
+        # failure is charged to the request, not raised as an error.
+        sim = Simulator(seed=5)
+        server, _, _, _ = lossy_setup(sim, 3, loss=0.0, reassign_margin_s=60.0)
+        for device_id in ("d0", "d1", "d2"):
+            self._silence(server, device_id)
+        server.submit_task(
+            make_spec(
+                spatial_density=1, sampling_period_s=None, sampling_duration_s=None
+            ),
+            lambda p: None,
+        )
+        sim.run(until=400.0)
+        server.shutdown()
+        assert server.stats.reassignments >= 1
+        assert server.stats.requests_satisfied == 0
+        assert server.stats.data_points == 0
+
+    def test_reassignment_races_task_deletion(self):
+        # The task is deleted after the reassignment check was
+        # scheduled but before it fires: the check must notice the task
+        # is gone and draft nobody.
+        sim = Simulator(seed=5)
+        server, _, _, _ = lossy_setup(sim, 3, loss=0.0, reassign_margin_s=60.0)
+        self._silence(server, "d0")
+        self._silence(server, "d1")
+        self._silence(server, "d2")
+        task_id = server.submit_task(
+            make_spec(
+                spatial_density=1, sampling_period_s=None, sampling_duration_s=None
+            ),
+            lambda p: None,
+        )
+        # One-shot deadline is 120 s, margin 60 s -> check fires at 60.
+        sim.schedule_at(30.0, server.delete_task, task_id)
+        sim.run(until=400.0)
+        server.shutdown()
+        assert server.stats.reassignments == 0
