@@ -8,9 +8,14 @@ interesting output is the reproduced numbers (stored in
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
+from repro.core.persistence import atomic_write_json
 from repro.experiments.common import ScenarioConfig
+
+ARTIFACT_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "artifacts")
 
 
 @pytest.fixture(scope="session")
@@ -22,3 +27,15 @@ def scenario() -> ScenarioConfig:
 def run_once(benchmark, fn, *args, **kwargs):
     """Run a figure generator exactly once under the benchmark timer."""
     return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+def write_artifact(name: str, payload: dict) -> str:
+    """Persist a benchmark scorecard as ``benchmarks/artifacts/<name>.json``.
+
+    Written crash-safely (temp file + atomic replace) so a scorecard on
+    disk is always complete.  Returns the path.
+    """
+    os.makedirs(ARTIFACT_DIR, exist_ok=True)
+    path = os.path.join(ARTIFACT_DIR, f"{name}.json")
+    atomic_write_json(path, payload)
+    return path

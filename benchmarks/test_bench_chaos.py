@@ -14,7 +14,7 @@ policy, and checks the three properties the chaos layer promises:
 
 from __future__ import annotations
 
-from benchmarks.conftest import run_once
+from benchmarks.conftest import run_once, write_artifact
 from repro.cellular.enodeb import ENodeB, TowerRegistry
 from repro.cellular.network import CellularNetwork
 from repro.clientlib import SenseAidClient
@@ -101,6 +101,9 @@ def run_chaos(with_retry: bool, seed: int = SEED):
         "network_drops": injector.stats.losses_injected,
         "network_duplicates": injector.stats.duplicates_injected,
         "retries": sum(c.stats.uploads_retried for c in clients),
+        "energy_j": round(
+            sum(c.device.crowdsensing_energy_j() for c in clients), 6
+        ),
         "signature": structured_log(sim).signature(),
     }
 
@@ -120,6 +123,7 @@ def test_bench_chaos(benchmark):
         results["replay"],
     )
     benchmark.extra_info.update(results)
+    write_artifact("BENCH_chaos", results)
 
     # The chaos actually bit: bursts dropped messages in both arms.
     assert baseline["network_drops"] > 0

@@ -42,6 +42,7 @@ from repro.cellular.network import CellularNetwork
 from repro.cellular.packets import sensor_data_message
 from repro.cellular.rrc import RRCState
 from repro.core.config import DegradedModePolicy, RetryPolicy
+from repro.core.overload import ServerOverloadedError
 from repro.core.server import Assignment, SenseAidServer
 from repro.devices.device import SimDevice
 from repro.devices.sensors import SensorReading, SensorType
@@ -89,6 +90,11 @@ class ClientStats:
     degraded_entries: int = 0
     degraded_uploads: int = 0
     resync_uploads: int = 0
+    epoch_resyncs: int = 0
+    stale_assignments_dropped: int = 0
+    uploads_shed: int = 0
+    stale_epoch_resends: int = 0
+    registrations_deferred: int = 0
 
     @property
     def uploads_total(self) -> int:
@@ -130,9 +136,14 @@ class SenseAidClient:
             if retry_policy is not None
             else None
         )
+        #: Last server incarnation this client has synced with; stamped
+        #: on every upload so a restarted server can refuse stale ones.
+        self._server_epoch = server.epoch
         device.modem.add_state_listener(self._on_radio_state)
-        if degraded_policy is not None:
-            network.add_path_listener(self._on_path_change)
+        # Always watch the Sense-Aid path: a restoration is how the
+        # client learns the server may have restarted (epoch resync);
+        # degraded-mode fallback additionally needs the downs.
+        network.add_path_listener(self._on_path_change)
 
     @property
     def device(self) -> SimDevice:
@@ -169,11 +180,32 @@ class SenseAidClient:
     # ------------------------------------------------------------------
 
     def register(self) -> None:
-        """Sign up for crowdsensing campaigns."""
+        """Sign up for crowdsensing campaigns.
+
+        If the server sheds the registration (overload), the attempt is
+        deferred and automatically repeated after the server's
+        Retry-After hint rather than failing outright.
+        """
         if self._registered:
             raise RuntimeError(f"{self._device.device_id} is already registered")
-        self._server.register_device(self._device, self._on_assignment)
+        try:
+            self._server.register_device(self._device, self._on_assignment)
+        except ServerOverloadedError as exc:
+            self.stats.registrations_deferred += 1
+            self.log.event(
+                "registration_deferred",
+                device_id=self._device.device_id,
+                retry_after_s=round(exc.retry_after_s, 6),
+            )
+            self._sim.schedule(max(exc.retry_after_s, 0.1), self._retry_register)
+            return
         self._registered = True
+        self._server_epoch = self._server.epoch
+
+    def _retry_register(self) -> None:
+        if self._registered or not self._powered:
+            return
+        self.register()
 
     def deregister(self) -> None:
         if not self._registered:
@@ -263,6 +295,7 @@ class SenseAidClient:
             "request_id": assignment.request.request_id,
             "value": reading.value,
             "sensed_at": reading.time,
+            "epoch": self._server_epoch,
         }
 
     def _transmit_legacy(
@@ -297,10 +330,18 @@ class SenseAidClient:
             # The server's processing is idempotent; delivery also
             # triggers the ack back to this client after one more core
             # transit.  A duplicated delivery acks twice — harmless.
-            self._server.receive_sensed_data(msg, receipt)
-            self._sim.schedule(
-                self._network.core_latency_s, self._on_upload_acked, request_id
-            )
+            # Shed and stale-epoch verdicts route to their handlers so
+            # the client backs off (honoring Retry-After) or resyncs.
+            ack = self._server.receive_sensed_data(msg, receipt)
+            latency = self._network.core_latency_s
+            if ack is not None and not ack.accepted and ack.reason == "shed":
+                self._sim.schedule(
+                    latency, self._on_upload_shed, request_id, ack.retry_after_s
+                )
+            elif ack is not None and not ack.accepted and ack.reason == "stale_epoch":
+                self._sim.schedule(latency, self._on_stale_epoch, request_id)
+            else:
+                self._sim.schedule(latency, self._on_upload_acked, request_id)
 
         self._network.uplink(
             self._device,
@@ -364,6 +405,68 @@ class SenseAidClient:
             backoff, self._on_retry_due, request_id
         )
 
+    def _on_upload_shed(self, request_id: str, retry_after_s: float) -> None:
+        """The server refused the upload under overload: back off for at
+        least its Retry-After hint, then retry through the normal
+        tail-aware path."""
+        state = self._inflight.get(request_id)
+        if state is None or not self._powered or self._degraded:
+            return
+        self._cancel_timer(state, "ack_timer")
+        self.stats.uploads_shed += 1
+        self.log.event(
+            "upload_shed",
+            device_id=self._device.device_id,
+            request_id=request_id,
+            attempt=state.attempts,
+            retry_after_s=round(retry_after_s, 6),
+        )
+        if state.attempts >= self.retry_policy.max_attempts:
+            self._inflight.pop(request_id, None)
+            self.stats.uploads_abandoned += 1
+            self.log.event(
+                "upload_abandoned",
+                device_id=self._device.device_id,
+                request_id=request_id,
+                attempts=state.attempts,
+            )
+            return
+        self._cancel_timer(state, "retry_timer")
+        state.retry_timer = self._sim.schedule(
+            self.retry_policy.shed_delay_s(state.attempts, retry_after_s),
+            self._on_retry_due,
+            request_id,
+        )
+
+    def _on_stale_epoch(self, request_id: str) -> None:
+        """The upload was stamped with a previous server incarnation:
+        resync, then retransmit under the new epoch (the request's
+        bookkeeping survived the restart via the WAL)."""
+        state = self._inflight.get(request_id)
+        if state is None or not self._powered or self._degraded:
+            return
+        self._cancel_timer(state, "ack_timer")
+        self.stats.stale_epoch_resends += 1
+        self.log.event(
+            "stale_epoch_resend",
+            device_id=self._device.device_id,
+            request_id=request_id,
+            known_epoch=self._server_epoch,
+            server_epoch=self._server.epoch,
+        )
+        self._resync_epoch()
+        if state.attempts >= self.retry_policy.max_attempts:
+            self._inflight.pop(request_id, None)
+            self.stats.uploads_abandoned += 1
+            self.log.event(
+                "upload_abandoned",
+                device_id=self._device.device_id,
+                request_id=request_id,
+                attempts=state.attempts,
+            )
+            return
+        self._transmit_upload(state)
+
     def _on_retry_due(self, request_id: str) -> None:
         state = self._inflight.get(request_id)
         if state is None or not self._powered or self._degraded:
@@ -413,10 +516,54 @@ class SenseAidClient:
     def _on_path_change(self, available: bool) -> None:
         if not self._powered:
             return
-        if not available and not self._degraded:
-            self._enter_degraded()
-        elif available and self._degraded:
+        if not available:
+            if self.degraded_policy is not None and not self._degraded:
+                self._enter_degraded()
+            return
+        # Path restored: first find out whether the server we knew is
+        # the one that came back (epoch resync — before any replay so
+        # retransmissions carry the new incarnation), then leave
+        # degraded mode.
+        if self._registered and self._server_epoch != self._server.epoch:
+            self._resync_epoch(not self._degraded)
+        if self._degraded:
             self._exit_degraded()
+
+    def _resync_epoch(self, replay: bool = False) -> None:
+        """Adopt the server's current incarnation.
+
+        Re-establishes the session (handler re-attachment; full
+        registration if the restarted server lost us entirely), sends a
+        fresh state report, and optionally replays unacknowledged
+        uploads under the new epoch.  A shed resync reschedules itself
+        after the server's Retry-After hint.
+        """
+        if not self._powered or not self._registered:
+            return
+        server = self._server
+        if self._server_epoch == server.epoch:
+            return
+        try:
+            server.resync_device(self._device, self._on_assignment)
+        except ServerOverloadedError as exc:
+            self._sim.schedule(
+                max(exc.retry_after_s, 0.1), self._resync_epoch, replay
+            )
+            return
+        old_epoch = self._server_epoch
+        self._server_epoch = server.epoch
+        self.stats.epoch_resyncs += 1
+        self.log.event(
+            "epoch_resync",
+            device_id=self._device.device_id,
+            old_epoch=old_epoch,
+            new_epoch=server.epoch,
+        )
+        self._send_state_report()
+        if replay:
+            for state in list(self._inflight.values()):
+                self.stats.resync_uploads += 1
+                self._transmit_upload(state)
 
     def _enter_degraded(self) -> None:
         self._degraded = True
@@ -506,6 +653,23 @@ class SenseAidClient:
     def _on_assignment(self, assignment: Assignment) -> None:
         if not self._powered:
             return
+        if assignment.epoch != self._server_epoch:
+            if assignment.epoch < self._server_epoch:
+                # Issued by a dead incarnation (e.g. delivered in
+                # flight across a restart): never act on it.
+                self.stats.stale_assignments_dropped += 1
+                self.log.event(
+                    "stale_assignment_dropped",
+                    device_id=self._device.device_id,
+                    request_id=assignment.request.request_id,
+                    assignment_epoch=assignment.epoch,
+                    known_epoch=self._server_epoch,
+                )
+                return
+            # The server moved ahead of us: resync before trusting it.
+            self._resync_epoch()
+            if self._server_epoch != assignment.epoch:
+                return  # resync deferred (overload); drop for now
         self.stats.assignments_received += 1
         self._last_sensor_type = assignment.sensor_type
         pending = PendingAssignment(assignment=assignment)

@@ -11,20 +11,40 @@ runs the four-factor fairness-aware device selector to pick the
 minimum set of devices meeting the task's spatial density.
 """
 
-from repro.core.config import SelectorWeights, SenseAidConfig, ServerMode
+from repro.core.config import (
+    OverloadPolicy,
+    SelectorWeights,
+    SenseAidConfig,
+    ServerMode,
+)
 from repro.core.datastores import DeviceDatastore, DeviceRecord, TaskDatastore
 from repro.core.federation import EdgeRegionSpec, FederatedSenseAid
+from repro.core.overload import (
+    AdmissionController,
+    RequestClass,
+    ServerOverloadedError,
+)
 from repro.core.queues import RequestQueue
 from repro.core.selector import DeviceSelector, ScoredDevice
-from repro.core.server import SenseAidServer
+from repro.core.server import SenseAidServer, UploadAck
 from repro.core.tasks import SensingRequest, TaskSpec
+from repro.core.wal import (
+    DurableLog,
+    WriteAheadLog,
+    check_recovery_invariants,
+    durable_state,
+)
 
 __all__ = [
+    "AdmissionController",
     "DeviceDatastore",
     "DeviceRecord",
     "DeviceSelector",
+    "DurableLog",
     "EdgeRegionSpec",
     "FederatedSenseAid",
+    "OverloadPolicy",
+    "RequestClass",
     "RequestQueue",
     "ScoredDevice",
     "SelectorWeights",
@@ -32,6 +52,11 @@ __all__ = [
     "SenseAidServer",
     "SensingRequest",
     "ServerMode",
+    "ServerOverloadedError",
     "TaskDatastore",
     "TaskSpec",
+    "UploadAck",
+    "WriteAheadLog",
+    "check_recovery_invariants",
+    "durable_state",
 ]

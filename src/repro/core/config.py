@@ -120,6 +120,17 @@ class RetryPolicy:
         raw = self.backoff_base_s * self.backoff_multiplier ** (attempt - 1)
         return min(self.backoff_max_s, raw)
 
+    def shed_delay_s(self, attempt: int, retry_after_s: float) -> float:
+        """Delay before retrying an upload the server *shed*.
+
+        An overloaded server returns a ``Retry-After``-style hint with
+        the rejection; honouring it means waiting at least that long —
+        retrying earlier would land in the same overload window.  The
+        client still keeps its own exponential-backoff floor so repeated
+        sheds of the same upload back off progressively.
+        """
+        return max(max(0.0, retry_after_s), self.backoff_s(attempt))
+
 
 @dataclass(frozen=True)
 class DegradedModePolicy:
@@ -140,6 +151,67 @@ class DegradedModePolicy:
     def __post_init__(self) -> None:
         if self.period_s <= 0:
             raise ValueError("period_s must be positive")
+
+
+@dataclass(frozen=True)
+class OverloadPolicy:
+    """Server-side overload-control parameters (admission + shedding).
+
+    The control plane processes ``service_rate_per_s`` requests per
+    second; arrivals beyond that accumulate in a virtual admission
+    queue whose depth is capped at ``queue_capacity``.  Shedding is
+    priority-aware — each request class is refused once the queue
+    passes its own fraction of capacity, and the fractions are ordered
+    so *registrations outrank uploads outrank queries*: a registration
+    is only ever dropped when the queue is completely full, by which
+    point every upload and query is already being shed.
+
+    Shed requests receive a ``Retry-After``-style hint sized to the
+    current backlog (``retry_after_base_s`` + time to drain back under
+    the class threshold).  ``breaker_threshold`` consecutive sheds open
+    a client-visible circuit breaker for ``breaker_cooldown_s``: while
+    open, uploads and queries are refused immediately with the
+    remaining cooldown as the hint, letting the queue drain instead of
+    churning.
+    """
+
+    queue_capacity: int = 64
+    service_rate_per_s: float = 50.0
+    registration_shed_fraction: float = 1.0
+    upload_shed_fraction: float = 0.75
+    query_shed_fraction: float = 0.5
+    retry_after_base_s: float = 2.0
+    breaker_threshold: int = 20
+    breaker_cooldown_s: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.queue_capacity < 1:
+            raise ValueError("queue_capacity must be at least 1")
+        if self.service_rate_per_s <= 0:
+            raise ValueError("service_rate_per_s must be positive")
+        fractions = (
+            self.query_shed_fraction,
+            self.upload_shed_fraction,
+            self.registration_shed_fraction,
+        )
+        for value in fractions:
+            if not 0.0 < value <= 1.0:
+                raise ValueError("shed fractions must be in (0, 1]")
+        if not (
+            self.query_shed_fraction
+            <= self.upload_shed_fraction
+            <= self.registration_shed_fraction
+        ):
+            raise ValueError(
+                "shed fractions must be ordered query <= upload <= "
+                "registration (registrations are shed last)"
+            )
+        if self.retry_after_base_s < 0:
+            raise ValueError("retry_after_base_s must be non-negative")
+        if self.breaker_threshold < 1:
+            raise ValueError("breaker_threshold must be at least 1")
+        if self.breaker_cooldown_s <= 0:
+            raise ValueError("breaker_cooldown_s must be positive")
 
 
 @dataclass(frozen=True)
@@ -203,6 +275,10 @@ class SenseAidConfig:
     #: device's radio from the device's own uploads and control pings,
     #: so the TTL factor goes stale between contacts.
     carrier_integrated: bool = True
+    #: Overload control (admission queue, priority shedding, circuit
+    #: breaker).  None — the default — disables admission control
+    #: entirely: every request is processed, as in the original design.
+    overload: Optional[OverloadPolicy] = None
 
     def __post_init__(self) -> None:
         if self.wait_check_period_s <= 0:

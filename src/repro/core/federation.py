@@ -287,10 +287,15 @@ class FederatedSenseAid:
         self.failovers += 1
 
     def recover_instance(self, region_id: str) -> None:
-        """Bring a failed instance back (fresh, empty of tasks —
-        its work stays wherever it was failed over to)."""
+        """Bring a failed instance back as a new incarnation.
+
+        The replacement process cold-restarts (epoch bump, volatile
+        session state gone); its previous work stays wherever it was
+        failed over to, and clients re-establish sessions through the
+        epoch-resync path rather than trusting pre-crash assignments.
+        """
         instance = self._instances[region_id]
-        instance.recover()
+        instance.restart()
         self._failed_over.discard(region_id)
 
     # ------------------------------------------------------------------

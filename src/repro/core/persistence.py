@@ -2,24 +2,45 @@
 
 The crash-recovery story (and the paper's assumption that a carrier
 deployment keeps its datastores on durable storage) needs the server's
-two datastores to be serialisable: this module round-trips device
+durable state to be serialisable: this module round-trips device
 records and task specs through plain JSON-compatible dicts, and can
 rebuild a *fresh* server process from a checkpoint — device records
-intact, and each task's unexpired remainder re-submitted.
+intact, each task's unexpired remainder re-submitted *with its
+original identity and request numbering*, plus (format version 2) the
+aggregate :class:`~repro.core.server.ServerStats`, the burned
+idempotency keys, and the pending per-request assignment bookkeeping.
+
+Checkpoint files are written crash-safely: the snapshot goes to a
+temporary file in the same directory and is atomically renamed into
+place, so a crash mid-save can never leave a truncated checkpoint
+behind.  The write-ahead log (:mod:`repro.core.wal`) builds on these
+snapshots for exact crash/restart recovery.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import json
+import os
+import tempfile
 from typing import Callable, Dict, Optional
 
 from repro.core.datastores import DeviceRecord
-from repro.core.server import SenseAidServer, SensedDataPoint
-from repro.core.tasks import TaskSpec
+from repro.core.server import (
+    SenseAidServer,
+    SensedDataPoint,
+    ServerStats,
+    _RequestTracking,
+)
+from repro.core.tasks import SensingRequest, TaskSpec
 from repro.devices.sensors import SensorType
 from repro.environment.geometry import Point
 
-FORMAT_VERSION = 1
+FORMAT_VERSION = 2
+#: Versions ``load_checkpoint``/``restore_server`` understand.  v1
+#: snapshots (devices + task remainders only) restore with the new
+#: fields defaulting to empty.
+SUPPORTED_VERSIONS = (1, 2)
 
 
 # ----------------------------------------------------------------------
@@ -99,6 +120,61 @@ def task_from_dict(data: dict) -> TaskSpec:
     )
 
 
+def stats_to_dict(stats: ServerStats) -> dict:
+    return dataclasses.asdict(stats)
+
+
+def stats_from_dict(data: dict) -> ServerStats:
+    known = {f.name for f in dataclasses.fields(ServerStats)}
+    return ServerStats(**{k: v for k, v in data.items() if k in known})
+
+
+def pending_to_dict(tracking: _RequestTracking) -> dict:
+    """One in-flight request's assignment bookkeeping, serialised."""
+    request = tracking.request
+    return {
+        "request_id": request.request_id,
+        "task_id": request.task.task_id,
+        "sequence": request.sequence,
+        "issue_time": request.issue_time,
+        "deadline": request.deadline,
+        "assigned": sorted(tracking.assigned),
+        "received": sorted(tracking.received),
+        "satisfied": tracking.satisfied,
+    }
+
+
+# ----------------------------------------------------------------------
+# Crash-safe file writes
+# ----------------------------------------------------------------------
+
+
+def atomic_write_json(path: str, payload: dict, *, indent: Optional[int] = 2) -> None:
+    """Write JSON to ``path`` atomically (temp file + ``os.replace``).
+
+    The temporary file lives in the target's own directory so the
+    rename never crosses filesystems; a crash anywhere before the
+    ``os.replace`` leaves the previous file untouched, never a
+    truncated one.
+    """
+    directory = os.path.dirname(os.path.abspath(path))
+    fd, tmp_path = tempfile.mkstemp(
+        dir=directory, prefix=os.path.basename(path) + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as f:
+            json.dump(payload, f, indent=indent)
+            f.flush()
+            os.fsync(f.fileno())
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
+
+
 # ----------------------------------------------------------------------
 # Server checkpointing
 # ----------------------------------------------------------------------
@@ -107,41 +183,110 @@ def task_from_dict(data: dict) -> TaskSpec:
 def checkpoint_server(server: SenseAidServer) -> dict:
     """Snapshot the server's durable state as a JSON-compatible dict.
 
-    Tasks are stored with an absolute end time so a restore at a later
-    point can re-submit exactly the unexpired remainder.
+    Tasks are stored with an absolute end time *and* their effective
+    start so a restore at a later point can re-submit exactly the
+    unexpired remainder, numbered like the original requests.
     """
     now = server._sim.now
     tasks = []
     for task in server.tasks.all_tasks():
         entry = task_to_dict(task)
         duration = task.duration_s()
+        start = server._task_starts.get(
+            task.task_id, task.start_time if task.start_time is not None else now
+        )
         entry["absolute_end"] = (
             task.end_time
             if task.end_time is not None
-            else (now + duration if duration is not None else now)
+            else (start + duration if duration is not None else now)
         )
+        entry["effective_start"] = start
         tasks.append(entry)
+    pending = [
+        pending_to_dict(tracking)
+        for _, tracking in sorted(server._tracking.items())
+    ]
     return {
         "version": FORMAT_VERSION,
         "taken_at": now,
+        "epoch": server.epoch,
         "devices": [record_to_dict(r) for r in server.devices.records()],
         "tasks": tasks,
+        "stats": stats_to_dict(server.stats),
+        "seen_upload_ids": sorted(server._seen_upload_ids),
+        "pending": pending,
     }
 
 
 def save_checkpoint(server: SenseAidServer, path: str) -> None:
-    with open(path, "w", encoding="utf-8") as f:
-        json.dump(checkpoint_server(server), f, indent=2)
+    """Checkpoint to disk, crash-safely (see :func:`atomic_write_json`)."""
+    atomic_write_json(path, checkpoint_server(server))
 
 
 def load_checkpoint(path: str) -> dict:
     with open(path, "r", encoding="utf-8") as f:
         snapshot = json.load(f)
-    if snapshot.get("version") != FORMAT_VERSION:
+    if snapshot.get("version") not in SUPPORTED_VERSIONS:
         raise ValueError(
             f"unsupported checkpoint version {snapshot.get('version')!r}"
         )
     return snapshot
+
+
+def resume_task_spec(entry: dict) -> Optional[TaskSpec]:
+    """The original-identity spec a checkpointed task resumes as.
+
+    One-shot tasks (no sampling period) do not resume.  Periodic tasks
+    come back with their original ``task_id`` and an explicit
+    start/end window anchored at the *original* effective start, so
+    ``expand_requests(..., resume=True)`` regenerates exactly the
+    not-yet-issued requests with their original sequence numbers,
+    issue times, and deadlines.
+    """
+    if entry["sampling_period_s"] is None:
+        return None
+    return TaskSpec(
+        task_id=entry["task_id"],
+        sensor_type=SensorType[entry["sensor_type"]],
+        center=Point(entry["center"][0], entry["center"][1]),
+        area_radius_m=entry["area_radius_m"],
+        spatial_density=entry["spatial_density"],
+        sampling_period_s=entry["sampling_period_s"],
+        start_time=entry.get("effective_start", entry.get("start_time")),
+        end_time=entry["absolute_end"],
+        device_type=entry["device_type"],
+        origin=entry["origin"],
+    )
+
+
+def restore_pending(server: SenseAidServer, pending: list) -> int:
+    """Rebuild in-flight request bookkeeping from a v2 checkpoint.
+
+    Only requests whose task survived the restore and whose deadline
+    is still in the future come back; the rest are history.  Returns
+    the number of trackings restored.
+    """
+    now = server._sim.now
+    restored = 0
+    for entry in pending:
+        task_id = entry["task_id"]
+        if task_id not in server.tasks or entry["deadline"] <= now:
+            continue
+        request = SensingRequest(
+            task=server.tasks.get(task_id),
+            sequence=entry["sequence"],
+            issue_time=entry["issue_time"],
+            deadline=entry["deadline"],
+        )
+        tracking = _RequestTracking(
+            request=request,
+            assigned=set(entry["assigned"]),
+            received=set(entry["received"]),
+            satisfied=entry["satisfied"],
+        )
+        server._tracking[request.request_id] = tracking
+        restored += 1
+    return restored
 
 
 def restore_server(
@@ -154,39 +299,43 @@ def restore_server(
     """Rebuild a fresh server's durable state from a checkpoint.
 
     Device records are restored verbatim (clients must still register
-    their live assignment handlers before devices can be scheduled).
-    Each periodic task whose window extends past the restore time is
-    re-submitted for its remainder, delivering to the callback mapped
-    from the task's origin in ``data_callbacks``.  Returns the number
-    of tasks resumed.
+    their live assignment handlers — or epoch-resync — before devices
+    can be scheduled).  Each periodic task whose window extends past
+    the restore time is re-submitted for its remainder under its
+    original task id and request numbering, delivering to the callback
+    mapped from the task's origin in ``data_callbacks``.  Version-2
+    snapshots additionally restore the aggregate stats, the burned
+    idempotency keys, and pending assignment bookkeeping.  Returns the
+    number of tasks resumed.
     """
-    if snapshot.get("version") != FORMAT_VERSION:
+    if snapshot.get("version") not in SUPPORTED_VERSIONS:
         raise ValueError(f"unsupported checkpoint version {snapshot.get('version')!r}")
     for data in snapshot["devices"]:
         record = record_from_dict(data)
         if record.device_id not in server.devices:
             server.devices.register(record)
+    if "stats" in snapshot:
+        server.stats = stats_from_dict(snapshot["stats"])
+    if "seen_upload_ids" in snapshot:
+        server._seen_upload_ids.update(snapshot["seen_upload_ids"])
+    if "epoch" in snapshot:
+        server.epoch = snapshot["epoch"]
     resumed = 0
     now = server._sim.now
     callbacks = data_callbacks or {}
     for entry in snapshot["tasks"]:
         end = entry["absolute_end"]
-        if entry["sampling_period_s"] is None or end <= now:
+        if end <= now:
+            continue
+        remainder = resume_task_spec(entry)
+        if remainder is None:
             continue
         callback = callbacks.get(entry["origin"])
         if callback is None:
             continue
-        remainder = TaskSpec(
-            sensor_type=SensorType[entry["sensor_type"]],
-            center=Point(entry["center"][0], entry["center"][1]),
-            area_radius_m=entry["area_radius_m"],
-            spatial_density=entry["spatial_density"],
-            sampling_period_s=entry["sampling_period_s"],
-            start_time=now,
-            end_time=end,
-            device_type=entry["device_type"],
-            origin=entry["origin"],
-        )
-        server.submit_task(remainder, callback)
+        if remainder.task_id in server.tasks:
+            continue  # already resumed (e.g. replayed from a WAL)
+        server.submit_task(remainder, callback, resume=True)
         resumed += 1
+    restore_pending(server, snapshot.get("pending", ()))
     return resumed

@@ -35,6 +35,7 @@ from repro.cellular.enodeb import TowerRegistry
 from repro.cellular.network import CellularNetwork, DeliveryReceipt
 from repro.cellular.packets import Message, MessageKind
 from repro.core.config import ControlPlane, SenseAidConfig, ServerMode
+from repro.core.overload import AdmissionController, RequestClass, ServerOverloadedError
 from repro.core.privacy import PrivacyFilter, PrivacyPolicy, scrub_payload
 from repro.core.datastores import DeviceDatastore, DeviceRecord, TaskDatastore
 from repro.core.queues import RequestQueue
@@ -53,11 +54,16 @@ PRESSURE_VALID_RANGE = (850.0, 1100.0)
 
 @dataclass(frozen=True)
 class Assignment:
-    """A scheduling decision delivered to one device."""
+    """A scheduling decision delivered to one device.
+
+    ``epoch`` is the server incarnation that issued it; a client whose
+    known epoch differs must resync before trusting new assignments.
+    """
 
     request: SensingRequest
     device_id: str
     assigned_at: float
+    epoch: int = 1
 
     @property
     def deadline(self) -> float:
@@ -96,6 +102,25 @@ class SensedDataPoint:
     device_hash: str
 
 
+@dataclass(frozen=True)
+class UploadAck:
+    """The server's verdict on one SENSOR_DATA delivery.
+
+    ``accepted`` means the reading counts (now, or — for
+    ``duplicate`` — when its first copy landed).  ``reason`` is one of
+    ``accepted``, ``duplicate``, ``shed``, ``stale_epoch``,
+    ``crashed``, ``invalid``, ``unassigned``, or ``untracked``.  A
+    ``shed`` ack carries a Retry-After hint; a ``stale_epoch`` ack
+    tells the client its view of the server incarnation is outdated
+    and it must resync before retrying.
+    """
+
+    accepted: bool
+    reason: str
+    epoch: int
+    retry_after_s: float = 0.0
+
+
 @dataclass
 class _RequestTracking:
     request: SensingRequest
@@ -119,6 +144,10 @@ class ServerStats:
     requests_lost_to_crash: int = 0
     reassignments: int = 0
     duplicate_uploads: int = 0
+    uploads_shed: int = 0
+    queries_shed: int = 0
+    registrations_shed: int = 0
+    stale_epoch_uploads: int = 0
 
 
 DataCallback = Callable[[SensedDataPoint], None]
@@ -137,6 +166,7 @@ class SenseAidServer:
         *,
         control_latency_s: float = 0.05,
         privacy_policy: Optional[PrivacyPolicy] = None,
+        wal=None,
     ) -> None:
         self._sim = sim
         self._registry = registry
@@ -159,6 +189,22 @@ class SenseAidServer:
         self._tracking: Dict[str, _RequestTracking] = {}
         self._seen_upload_ids: Set[str] = set()
         self._crashed = False
+        #: Server *incarnation* epoch, stamped on assignments and acks.
+        #: Bumped by every cold :meth:`restart`; not to be confused
+        #: with the *accounting* epochs of ``epoch_reset_period_s``.
+        self.epoch = 1
+        #: Effective start per task id — the anchor the request grid
+        #: was expanded from, needed to resume with original numbering.
+        self._task_starts: Dict[int, float] = {}
+        #: Durable log (``repro.core.wal.DurableLog``-shaped, duck
+        #: typed so core.server never imports the persistence stack).
+        self._wal = wal
+        #: Admission controller, present only when the config opts in.
+        self.admission: Optional[AdmissionController] = (
+            AdmissionController(sim, self.config.overload)
+            if self.config.overload is not None
+            else None
+        )
         self.log = SimLogger(sim, "repro.core.server")
         self.privacy = (
             PrivacyFilter(privacy_policy) if privacy_policy is not None else None
@@ -230,6 +276,48 @@ class SenseAidServer:
             self._sim, self.config.wait_check_period_s, self._check_wait_queue
         )
 
+    def restart(self, *, data_callbacks: Optional[Dict[str, DataCallback]] = None) -> None:
+        """Cold restart: the process is replaced, volatile state is gone.
+
+        Unlike :meth:`recover` (a same-process resume where nothing was
+        lost), a restart clears in-memory tracking and assignment
+        handlers, bumps the incarnation :attr:`epoch`, and — when a
+        write-ahead log is attached — rebuilds the durable state from
+        the last checkpoint plus WAL replay.  Without a WAL the
+        datastores are treated as persistent storage and survive as-is.
+        Clients notice the epoch bump and resync; stale-epoch uploads
+        are rejected until they do.
+
+        ``data_callbacks`` maps task origins to delivery callbacks for
+        tasks resumed from the WAL (defaults to the callbacks already
+        registered under each task id).
+        """
+        if not self._crashed:
+            self.crash()
+        self._tracking.clear()
+        self._assignment_handlers.clear()
+        self.run_queue = RequestQueue("run")
+        self.wait_queue = RequestQueue("wait")
+        if self._wal is not None:
+            self.devices = DeviceDatastore()
+            self.tasks = TaskDatastore()
+            self.stats = ServerStats()
+            self._seen_upload_ids = set()
+            self._task_starts = {}
+            self._crashed = False  # recovery replays submit_task et al.
+            self._wal.recover_into(self, data_callbacks=data_callbacks)
+        else:
+            # Datastores stand in for persistent storage; only the
+            # incarnation number moves forward.
+            self._crashed = False
+            self.epoch += 1
+        self.log.event("server_restart", epoch=self.epoch)
+        self.log.warning("server restarted as epoch %d", self.epoch)
+        self._network.set_sense_aid_path_available(True)
+        self._wait_checker = PeriodicProcess(
+            self._sim, self.config.wait_check_period_s, self._check_wait_queue
+        )
+
     def _reset_epoch(self) -> None:
         """Start a new accounting epoch (selection/energy counters)."""
         self.devices.reset_epoch()
@@ -246,7 +334,12 @@ class SenseAidServer:
         The record is seeded from the registration payload: hashed
         IMEI, energy budget, critical battery level, battery level, and
         the device's sensor complement.
+
+        Raises :class:`ServerOverloadedError` when the admission
+        controller sheds the registration (only ever at a completely
+        full queue — registrations are the last class to go).
         """
+        self._admit_or_raise(RequestClass.REGISTRATION)
         record = DeviceRecord(
             device_id=device.device_id,
             imei_hash=device.imei_hash,
@@ -260,12 +353,53 @@ class SenseAidServer:
         self.devices.register(record)
         self._registry.attach_device(device)
         self._assignment_handlers[device.device_id] = assignment_handler
+        if self._wal is not None:
+            self._wal.record_register(record)
         return record
+
+    def resync_device(
+        self, device, assignment_handler: AssignmentHandler
+    ) -> DeviceRecord:
+        """Re-establish a session after a server epoch change.
+
+        The durable record (fairness counters included) survived the
+        restart; what was lost is the volatile session — the live
+        assignment handler.  A device the restarted server has no
+        record of (e.g. it registered after the last durable event)
+        falls back to a full registration.
+        """
+        if device.device_id not in self.devices:
+            return self.register_device(device, assignment_handler)
+        self._admit_or_raise(RequestClass.REGISTRATION)
+        self._assignment_handlers[device.device_id] = assignment_handler
+        try:
+            self._registry.device(device.device_id)
+        except KeyError:
+            self._registry.attach_device(device)
+        record = self.devices.record(device.device_id)
+        self.devices.update_state(
+            device.device_id,
+            battery_pct=device.battery.level_pct,
+            last_comm_time=self._sim.now,
+        )
+        return record
+
+    def _admit_or_raise(self, request_class: RequestClass) -> None:
+        if self.admission is None:
+            return
+        decision = self.admission.admit(request_class)
+        if decision.admitted:
+            return
+        if request_class is RequestClass.REGISTRATION:
+            self.stats.registrations_shed += 1
+        raise ServerOverloadedError(decision)
 
     def deregister_device(self, device_id: str) -> None:
         self.devices.deregister(device_id)
         self._registry.detach_device(device_id)
         self._assignment_handlers.pop(device_id, None)
+        if self._wal is not None:
+            self._wal.record_deregister(device_id)
 
     def update_preferences(
         self,
@@ -287,7 +421,16 @@ class SenseAidServer:
     def report_device_state(
         self, device_id: str, battery_pct: float, energy_used_j: float
     ) -> None:
-        """Fold a control-plane state ping into the device record."""
+        """Fold a control-plane state ping into the device record.
+
+        State pings are the lowest-priority class: under overload they
+        are silently shed (the client refreshes on its next ping).
+        """
+        if self.admission is not None:
+            decision = self.admission.admit(RequestClass.QUERY)
+            if not decision.admitted:
+                self.stats.queries_shed += 1
+                return
         if device_id not in self.devices:
             return
         self.devices.update_state(
@@ -300,26 +443,50 @@ class SenseAidServer:
     # Application-server-facing API
     # ------------------------------------------------------------------
 
-    def submit_task(self, task: TaskSpec, data_callback: DataCallback) -> int:
-        """Accept a task; expand it into requests and schedule them."""
+    def submit_task(
+        self, task: TaskSpec, data_callback: DataCallback, *, resume: bool = False
+    ) -> int:
+        """Accept a task; expand it into requests and schedule them.
+
+        ``resume=True`` re-admits a task recovered from a checkpoint or
+        WAL: the request grid keeps its original anchoring and sequence
+        numbers, and only not-yet-issued requests are scheduled.
+        """
+        now = self._sim.now
         self.tasks.add(task)
         self._data_callbacks[str(task.task_id)] = data_callback
         self.run_queue.allow_task(task.task_id)
         self.wait_queue.allow_task(task.task_id)
+        start = task.effective_start(now)
+        if start < now and not resume:
+            start = now
+        self._task_starts[task.task_id] = start
         requests = task.expand_requests(
-            self._sim.now, self.config.one_shot_deadline_s
+            now, self.config.one_shot_deadline_s, resume=resume
         )
         self.log.info(
-            "task %d from %s accepted: %d requests, density %d",
+            "task %d from %s %s: %d requests, density %d",
             task.task_id,
             task.origin,
+            "resumed" if resume else "accepted",
             len(requests),
             task.spatial_density,
         )
+        if self._wal is not None:
+            self._wal.record_task_submitted(task, start, self._task_end(task, start))
         for request in requests:
-            delay = max(0.0, request.issue_time - self._sim.now)
-            self._sim.schedule(delay, self._issue_request, request)
+            delay = max(0.0, request.issue_time - now)
+            self._sim.schedule(delay, self._issue_request, request, self.epoch)
         return task.task_id
+
+    def _task_end(self, task: TaskSpec, start: float) -> float:
+        """Absolute end of a task's sensing window."""
+        if task.end_time is not None:
+            return task.end_time
+        duration = task.duration_s()
+        if duration is not None:
+            return start + duration
+        return start + self.config.one_shot_deadline_s
 
     def update_task(self, task_id: int, **changes) -> TaskSpec:
         """Update parameters of an existing task.
@@ -327,6 +494,7 @@ class SenseAidServer:
         Pending (not yet issued) requests of the old spec are
         retracted and the updated task is re-expanded from now.
         """
+        now = self._sim.now
         old = self.tasks.get(task_id)
         updated = old.with_updates(**changes)
         self.tasks.replace(updated)
@@ -334,11 +502,15 @@ class SenseAidServer:
         self.wait_queue.retract_task(task_id)
         self.run_queue.allow_task(task_id)
         self.wait_queue.allow_task(task_id)
+        start = max(updated.effective_start(now), now)
+        self._task_starts[task_id] = start
+        if self._wal is not None:
+            self._wal.record_task_updated(updated, start, self._task_end(updated, start))
         for request in updated.expand_requests(
-            self._sim.now, self.config.one_shot_deadline_s
+            now, self.config.one_shot_deadline_s
         ):
-            delay = max(0.0, request.issue_time - self._sim.now)
-            self._sim.schedule(delay, self._issue_request, request)
+            delay = max(0.0, request.issue_time - now)
+            self._sim.schedule(delay, self._issue_request, request, self.epoch)
         return updated
 
     def delete_task(self, task_id: int) -> None:
@@ -346,6 +518,9 @@ class SenseAidServer:
         self.run_queue.retract_task(task_id)
         self.wait_queue.retract_task(task_id)
         self._data_callbacks.pop(str(task_id), None)
+        self._task_starts.pop(task_id, None)
+        if self._wal is not None:
+            self._wal.record_task_deleted(task_id)
 
     # ------------------------------------------------------------------
     # Scheduling core (Algorithm 1)
@@ -372,7 +547,14 @@ class SenseAidServer:
             qualified.append(device_id)
         return qualified
 
-    def _issue_request(self, request: SensingRequest) -> None:
+    def _issue_request(
+        self, request: SensingRequest, epoch: Optional[int] = None
+    ) -> None:
+        if epoch is not None and epoch != self.epoch:
+            # Scheduled by a previous incarnation; a cold restart
+            # re-expanded every surviving task under the new epoch, so
+            # this event would double-issue the request.
+            return
         if self._crashed:
             self.stats.requests_lost_to_crash += 1
             return
@@ -452,8 +634,13 @@ class SenseAidServer:
         self.devices.mark_selected(device_id)
         tracking.assigned.add(device_id)
         self.stats.assignments += 1
+        if self._wal is not None:
+            self._wal.record_assign(request, device_id)
         assignment = Assignment(
-            request=request, device_id=device_id, assigned_at=self._sim.now
+            request=request,
+            device_id=device_id,
+            assigned_at=self._sim.now,
+            epoch=self.epoch,
         )
         handler = self._assignment_handlers.get(device_id)
         if handler is None:
@@ -583,7 +770,9 @@ class SenseAidServer:
     # Data path
     # ------------------------------------------------------------------
 
-    def receive_sensed_data(self, message: Message, receipt: DeliveryReceipt) -> None:
+    def receive_sensed_data(
+        self, message: Message, receipt: DeliveryReceipt
+    ) -> Optional[UploadAck]:
         """Network delivery callback for SENSOR_DATA uploads.
 
         Idempotent: each upload carries an attempt-independent
@@ -592,14 +781,42 @@ class SenseAidServer:
         already-delivered attempt are acknowledged (delivery *is* the
         ack trigger on the client side) but counted exactly once, so
         the application server never double-counts a reading.
+
+        Returns an :class:`UploadAck` describing the verdict; legacy
+        callers may ignore it.  Uploads are subject to admission
+        control (``shed`` acks carry a Retry-After hint) and to epoch
+        validation — a payload stamped with a previous incarnation's
+        epoch is rejected with ``stale_epoch`` so the client resyncs
+        instead of trusting pre-restart assignments.
         """
-        if self._crashed:
-            return  # traffic bypassed us on path 1
         if message.kind is not MessageKind.SENSOR_DATA:
-            return
+            return None
+        if self._crashed:
+            return UploadAck(accepted=False, reason="crashed", epoch=self.epoch)
         payload = message.payload
         device_id = payload["device_id"]
         request_id = payload["request_id"]
+        if self.admission is not None:
+            decision = self.admission.admit(RequestClass.UPLOAD)
+            if not decision.admitted:
+                self.stats.uploads_shed += 1
+                return UploadAck(
+                    accepted=False,
+                    reason="shed",
+                    epoch=self.epoch,
+                    retry_after_s=decision.retry_after_s,
+                )
+        client_epoch = payload.get("epoch")
+        if client_epoch is not None and client_epoch != self.epoch:
+            self.stats.stale_epoch_uploads += 1
+            self.log.event(
+                "stale_epoch",
+                device_id=device_id,
+                request_id=request_id,
+                client_epoch=client_epoch,
+                server_epoch=self.epoch,
+            )
+            return UploadAck(accepted=False, reason="stale_epoch", epoch=self.epoch)
         explicit_id = payload.get("upload_id")
         upload_id = explicit_id or f"{device_id}:{request_id}"
         if explicit_id is not None and upload_id in self._seen_upload_ids:
@@ -609,7 +826,7 @@ class SenseAidServer:
             # identical across attempts — qualify for this fast path;
             # derived keys go through validation first, like always.
             self._note_duplicate(upload_id, device_id, request_id, payload)
-            return
+            return UploadAck(accepted=True, reason="duplicate", epoch=self.epoch)
         if device_id in self.devices:
             self.devices.update_state(
                 device_id,
@@ -619,17 +836,18 @@ class SenseAidServer:
             )
         tracking = self._tracking.get(request_id)
         if tracking is None:
-            return
+            return UploadAck(accepted=False, reason="untracked", epoch=self.epoch)
         if not self._validate_reading(tracking.request, device_id, payload):
             self.stats.invalid_data += 1
             if device_id in self.devices:
                 self.devices.note_invalid_data(device_id)
-            return
+            return UploadAck(accepted=False, reason="invalid", epoch=self.epoch)
         if device_id not in tracking.assigned:
-            return  # upload from a device this request never selected
+            # Upload from a device this request never selected.
+            return UploadAck(accepted=False, reason="unassigned", epoch=self.epoch)
         if device_id in tracking.received:
             self._note_duplicate(upload_id, device_id, request_id, payload)
-            return
+            return UploadAck(accepted=True, reason="duplicate", epoch=self.epoch)
         tracking.received.add(device_id)
         # Only *accepted* readings burn their idempotency key: an
         # invalid or unassigned arrival above is not "the" upload, and
@@ -643,13 +861,19 @@ class SenseAidServer:
         if not record.responsive:
             self.devices.mark_responsive(device_id)
         self.stats.data_points += 1
-        if (
+        satisfied_now = (
             not tracking.satisfied
             and len(tracking.received) >= tracking.request.devices_needed
-        ):
+        )
+        if satisfied_now:
             tracking.satisfied = True
             self.stats.requests_satisfied += 1
+        if self._wal is not None:
+            self._wal.record_upload_accept(
+                upload_id, device_id, request_id, satisfied_now
+            )
         self._forward_to_application(tracking.request, device_id, payload)
+        return UploadAck(accepted=True, reason="accepted", epoch=self.epoch)
 
     def _note_duplicate(
         self, upload_id: str, device_id: str, request_id: str, payload: dict

@@ -106,7 +106,11 @@ class TaskSpec:
         return max(1, int(duration // self.sampling_period_s))
 
     def expand_requests(
-        self, now: float, one_shot_deadline_s: float = 120.0
+        self,
+        now: float,
+        one_shot_deadline_s: float = 120.0,
+        *,
+        resume: bool = False,
     ) -> List["SensingRequest"]:
         """Generate this task's requests, deadlines included.
 
@@ -114,11 +118,20 @@ class TaskSpec:
         ``start + i·period`` and must be satisfied by the next sampling
         instant.  A one-shot task yields a single request due
         ``one_shot_deadline_s`` after issue.
+
+        With ``resume=True`` (crash recovery), the request grid stays
+        anchored at the task's *original* effective start even if that
+        is in the past, and only requests still issuable (``issue_time
+        >= now``) are returned — so a restored task keeps its original
+        sequence numbering and request ids instead of renumbering the
+        remainder from zero.
         """
         start = self.effective_start(now)
-        if start < now:
+        if start < now and not resume:
             start = now
         if self.one_shot:
+            if resume and start < now:
+                return []
             return [
                 SensingRequest(
                     task=self,
@@ -128,7 +141,7 @@ class TaskSpec:
                 )
             ]
         period = self.sampling_period_s
-        return [
+        requests = [
             SensingRequest(
                 task=self,
                 sequence=i,
@@ -137,6 +150,9 @@ class TaskSpec:
             )
             for i in range(self.request_count())
         ]
+        if resume:
+            requests = [r for r in requests if r.issue_time >= now]
+        return requests
 
     def with_updates(self, **changes) -> "TaskSpec":
         """A copy with updated parameters (same task_id) —

@@ -1,0 +1,526 @@
+"""Write-ahead logging and crash recovery for the Sense-Aid server.
+
+A carrier-edge control plane cannot afford to lose registration,
+assignment, or accounting state across a process crash.  This module
+makes :class:`~repro.core.server.SenseAidServer` durable:
+
+- :class:`WriteAheadLog` — the storage layer: an append-only JSON-lines
+  log (``wal.jsonl``) plus an atomically-replaced checkpoint file
+  (``checkpoint.json``).  ``compact()`` snapshots the full durable
+  state and truncates the log, bounding replay time.
+- :class:`DurableLog` — the server-facing recorder: one ``record_*``
+  method per state-mutating control-plane event (register, deregister,
+  task submit/update/delete, selection, upload accept + key burn), and
+  :meth:`DurableLog.recover_into`, which rebuilds a restarted server
+  from checkpoint + replay and bumps its incarnation epoch.
+- :func:`durable_state` / :func:`check_recovery_invariants` — a
+  projection of exactly the state recovery promises to preserve, and a
+  checker proving a recovered server matches its pre-crash self: no
+  lost or double-counted accepted uploads, no resurrected burned
+  idempotency keys, monotone (exactly-reconstructed) fairness
+  counters, and an epoch strictly one past the pre-crash incarnation.
+
+The server never imports this module; it calls the duck-typed ``wal``
+object handed to its constructor, so the dependency points one way
+(wal → persistence → server).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Callable, Dict, List, Optional
+
+from repro.core.persistence import (
+    SUPPORTED_VERSIONS,
+    atomic_write_json,
+    checkpoint_server,
+    record_from_dict,
+    record_to_dict,
+    restore_pending,
+    resume_task_spec,
+    stats_from_dict,
+    task_to_dict,
+)
+from repro.core.server import SenseAidServer, SensedDataPoint, _RequestTracking
+from repro.core.tasks import SensingRequest, TaskSpec
+
+DataCallback = Callable[[SensedDataPoint], None]
+
+
+class WriteAheadLog:
+    """Append-only JSON-lines log with an atomic checkpoint.
+
+    Entries are sequence-numbered; the log holds only events *after*
+    the checkpoint, because :meth:`compact` installs a new snapshot and
+    truncates the log in that order — a crash between the two steps
+    merely leaves entries that replay as no-ops against the newer
+    snapshot's state.
+    """
+
+    LOG_NAME = "wal.jsonl"
+    CHECKPOINT_NAME = "checkpoint.json"
+
+    def __init__(self, directory: str) -> None:
+        self.directory = directory
+        os.makedirs(directory, exist_ok=True)
+        self.log_path = os.path.join(directory, self.LOG_NAME)
+        self.checkpoint_path = os.path.join(directory, self.CHECKPOINT_NAME)
+        self._seq = 0
+        for entry in self.entries():
+            self._seq = max(self._seq, entry.get("seq", 0))
+
+    def append(self, kind: str, **fields) -> dict:
+        """Durably append one event; returns the stored entry."""
+        self._seq += 1
+        entry = {"seq": self._seq, "kind": kind, **fields}
+        with open(self.log_path, "a", encoding="utf-8") as f:
+            f.write(json.dumps(entry, sort_keys=True) + "\n")
+            f.flush()
+            os.fsync(f.fileno())
+        return entry
+
+    def entries(self) -> List[dict]:
+        """All intact entries, in append order.
+
+        A torn final line (crash mid-append) is silently dropped, as is
+        everything after it — a hole in the sequence means nothing past
+        it can be trusted.
+        """
+        if not os.path.exists(self.log_path):
+            return []
+        out: List[dict] = []
+        with open(self.log_path, "r", encoding="utf-8") as f:
+            for line in f:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    entry = json.loads(line)
+                except json.JSONDecodeError:
+                    break
+                out.append(entry)
+        return out
+
+    def load_checkpoint(self) -> Optional[dict]:
+        if not os.path.exists(self.checkpoint_path):
+            return None
+        with open(self.checkpoint_path, "r", encoding="utf-8") as f:
+            snapshot = json.load(f)
+        if snapshot.get("version") not in SUPPORTED_VERSIONS:
+            raise ValueError(
+                f"unsupported checkpoint version {snapshot.get('version')!r}"
+            )
+        return snapshot
+
+    def compact(self, snapshot: dict) -> None:
+        """Install ``snapshot`` as the recovery base and truncate the log.
+
+        The checkpoint replaces atomically first; only then is the log
+        truncated, so no crash point leaves less information on disk
+        than before the call.
+        """
+        atomic_write_json(self.checkpoint_path, snapshot)
+        with open(self.log_path, "w", encoding="utf-8") as f:
+            f.flush()
+            os.fsync(f.fileno())
+
+
+class DurableLog:
+    """Records a server's state-mutating events and replays them.
+
+    Attach one via ``SenseAidServer(..., wal=DurableLog(directory))``;
+    the server calls the ``record_*`` hooks at each durable transition.
+    Call :meth:`checkpoint` periodically to bound the log, and rely on
+    :meth:`~repro.core.server.SenseAidServer.restart` (which calls
+    :meth:`recover_into`) after a crash.
+    """
+
+    def __init__(self, directory: str) -> None:
+        self.wal = WriteAheadLog(directory)
+
+    # ------------------------------------------------------------------
+    # Recording hooks (called by the server)
+    # ------------------------------------------------------------------
+
+    def record_register(self, record) -> None:
+        self.wal.append("register", record=record_to_dict(record))
+
+    def record_deregister(self, device_id: str) -> None:
+        self.wal.append("deregister", device_id=device_id)
+
+    def record_task_submitted(
+        self, task: TaskSpec, effective_start: float, absolute_end: float
+    ) -> None:
+        self.wal.append(
+            "task_submitted",
+            task=task_to_dict(task),
+            effective_start=effective_start,
+            absolute_end=absolute_end,
+        )
+
+    def record_task_updated(
+        self, task: TaskSpec, effective_start: float, absolute_end: float
+    ) -> None:
+        self.wal.append(
+            "task_updated",
+            task=task_to_dict(task),
+            effective_start=effective_start,
+            absolute_end=absolute_end,
+        )
+
+    def record_task_deleted(self, task_id: int) -> None:
+        self.wal.append("task_deleted", task_id=task_id)
+
+    def record_assign(self, request: SensingRequest, device_id: str) -> None:
+        self.wal.append(
+            "assign",
+            request_id=request.request_id,
+            task_id=request.task.task_id,
+            sequence=request.sequence,
+            issue_time=request.issue_time,
+            deadline=request.deadline,
+            device_id=device_id,
+        )
+
+    def record_upload_accept(
+        self, upload_id: str, device_id: str, request_id: str, satisfied: bool
+    ) -> None:
+        self.wal.append(
+            "upload_accept",
+            upload_id=upload_id,
+            device_id=device_id,
+            request_id=request_id,
+            satisfied=satisfied,
+        )
+
+    def record_restart(self, epoch: int) -> None:
+        self.wal.append("restart", epoch=epoch)
+
+    # ------------------------------------------------------------------
+    # Checkpointing / recovery
+    # ------------------------------------------------------------------
+
+    def checkpoint(self, server: SenseAidServer) -> None:
+        """Snapshot the server and truncate the log behind it."""
+        self.wal.compact(checkpoint_server(server))
+
+    def recover_into(
+        self,
+        server: SenseAidServer,
+        data_callbacks: Optional[Dict[str, DataCallback]] = None,
+    ) -> None:
+        """Rebuild a (cleared) server from checkpoint + WAL replay.
+
+        Called by ``SenseAidServer.restart()`` with the datastores,
+        tracking, and stats already reset.  Resolves the delivery
+        callback for each resumed task from ``data_callbacks`` (keyed
+        by task origin) or, failing that, from whatever callback the
+        application re-registered under the task id.  Ends by bumping
+        the incarnation epoch past every recorded one and compacting,
+        so the new epoch is itself durable.
+        """
+        overrides = dict(data_callbacks or {})
+        fallback = dict(server._data_callbacks)
+        snapshot = self.wal.load_checkpoint()
+        entries = self.wal.entries()
+        recovered_epoch = snapshot.get("epoch", 1) if snapshot else 1
+        for entry in entries:
+            if entry["kind"] == "restart":
+                recovered_epoch = max(recovered_epoch, entry["epoch"])
+        # Bump *before* replaying so resumed tasks schedule their issue
+        # events under the new incarnation (the server drops events
+        # stamped with a stale epoch).
+        server.epoch = recovered_epoch + 1
+        wal_ref = server._wal
+        server._wal = None  # replay must not re-log itself
+        try:
+            if snapshot is not None:
+                self._apply_checkpoint(server, snapshot, overrides, fallback)
+            for entry in entries:
+                self._replay_entry(server, entry, overrides, fallback)
+        finally:
+            server._wal = wal_ref
+        self.record_restart(server.epoch)
+        self.checkpoint(server)
+
+    def _resolve_callback(
+        self,
+        server: SenseAidServer,
+        task_id: int,
+        origin: str,
+        overrides: Dict[str, DataCallback],
+        fallback: Dict[str, DataCallback],
+    ) -> Optional[DataCallback]:
+        return (
+            overrides.get(origin)
+            or fallback.get(str(task_id))
+            or server._data_callbacks.get(str(task_id))
+        )
+
+    def _apply_checkpoint(
+        self,
+        server: SenseAidServer,
+        snapshot: dict,
+        overrides: Dict[str, DataCallback],
+        fallback: Dict[str, DataCallback],
+    ) -> None:
+        now = server._sim.now
+        for data in snapshot["devices"]:
+            record = record_from_dict(data)
+            if record.device_id not in server.devices:
+                server.devices.register(record)
+        if "stats" in snapshot:
+            server.stats = stats_from_dict(snapshot["stats"])
+        server._seen_upload_ids.update(snapshot.get("seen_upload_ids", ()))
+        for entry in snapshot["tasks"]:
+            if entry.get("absolute_end", now) <= now:
+                continue
+            remainder = resume_task_spec(entry)
+            if remainder is None or remainder.task_id in server.tasks:
+                continue
+            callback = self._resolve_callback(
+                server, remainder.task_id, entry["origin"], overrides, fallback
+            )
+            if callback is None:
+                continue
+            server.submit_task(remainder, callback, resume=True)
+        restore_pending(server, snapshot.get("pending", ()))
+
+    def _replay_entry(
+        self,
+        server: SenseAidServer,
+        entry: dict,
+        overrides: Dict[str, DataCallback],
+        fallback: Dict[str, DataCallback],
+    ) -> None:
+        kind = entry["kind"]
+        now = server._sim.now
+        if kind == "register":
+            record = record_from_dict(entry["record"])
+            if record.device_id not in server.devices:
+                server.devices.register(record)
+        elif kind == "deregister":
+            if entry["device_id"] in server.devices:
+                server.devices.deregister(entry["device_id"])
+        elif kind in ("task_submitted", "task_updated"):
+            task_dict = entry["task"]
+            task_id = task_dict["task_id"]
+            callback = self._resolve_callback(
+                server, task_id, task_dict["origin"], overrides, fallback
+            )
+            if task_id in server.tasks:
+                server.delete_task(task_id)
+            if entry["absolute_end"] <= now:
+                return
+            remainder = resume_task_spec(
+                {
+                    **task_dict,
+                    "effective_start": entry["effective_start"],
+                    "absolute_end": entry["absolute_end"],
+                }
+            )
+            if remainder is None or callback is None:
+                return
+            server.submit_task(remainder, callback, resume=True)
+        elif kind == "task_deleted":
+            if entry["task_id"] in server.tasks:
+                server.delete_task(entry["task_id"])
+        elif kind == "assign":
+            device_id = entry["device_id"]
+            if device_id in server.devices:
+                # Fairness counters are durable: re-count the selection.
+                server.devices.record(device_id).times_selected += 1
+            task_id = entry["task_id"]
+            if task_id in server.tasks and entry["deadline"] > now:
+                tracking = server._tracking.get(entry["request_id"])
+                if tracking is None:
+                    request = SensingRequest(
+                        task=server.tasks.get(task_id),
+                        sequence=entry["sequence"],
+                        issue_time=entry["issue_time"],
+                        deadline=entry["deadline"],
+                    )
+                    tracking = _RequestTracking(request=request)
+                    server._tracking[request.request_id] = tracking
+                tracking.assigned.add(device_id)
+        elif kind == "upload_accept":
+            server._seen_upload_ids.add(entry["upload_id"])
+            server.stats.data_points += 1
+            if entry["satisfied"]:
+                server.stats.requests_satisfied += 1
+            tracking = server._tracking.get(entry["request_id"])
+            if tracking is not None:
+                tracking.received.add(entry["device_id"])
+                if entry["satisfied"]:
+                    tracking.satisfied = True
+        elif kind == "restart":
+            server.epoch = max(server.epoch, entry["epoch"])
+        # Unknown kinds are skipped: a newer writer's entries must not
+        # crash an older reader mid-recovery.
+
+
+# ----------------------------------------------------------------------
+# Recovery invariants
+# ----------------------------------------------------------------------
+
+
+def _live_task_ids(server: SenseAidServer) -> List[int]:
+    """Tasks whose sensing window is still open.
+
+    Expired tasks linger in the datastore on a live server but are not
+    resumed by recovery, so the durable projection only counts open
+    ones — the state both sides promise to agree on.
+    """
+    now = server._sim.now
+    live: List[int] = []
+    for task in server.tasks.all_tasks():
+        if task.one_shot:
+            # One-shot supplemental samples are fire-and-forget: their
+            # single request is not re-issued by recovery, so they are
+            # not part of the durable contract.
+            continue
+        start = server._task_starts.get(
+            task.task_id, task.start_time if task.start_time is not None else 0.0
+        )
+        if task.end_time is not None:
+            end = task.end_time
+        else:
+            duration = task.duration_s()
+            end = (
+                start + duration
+                if duration is not None
+                else start + server.config.one_shot_deadline_s
+            )
+        if end > now:
+            live.append(task.task_id)
+    return sorted(live)
+
+
+def durable_state(server: SenseAidServer) -> dict:
+    """Project exactly the state crash recovery promises to preserve.
+
+    Volatile per-device telemetry (battery, energy, last-comm,
+    responsiveness, reliability) and scheduler-side counters are
+    excluded by design; what remains — identities, fairness counters,
+    open tasks, burned idempotency keys, accepted-upload accounting,
+    and in-flight assignment bookkeeping — must survive a crash
+    bit-for-bit.
+    """
+    now = server._sim.now
+    live_tasks = set(_live_task_ids(server))
+    assignments = {}
+    for request_id, tracking in server._tracking.items():
+        if tracking.request.task.task_id not in live_tasks:
+            continue
+        if tracking.request.deadline <= now:
+            continue
+        assignments[request_id] = {
+            "assigned": sorted(tracking.assigned),
+            "received": sorted(tracking.received),
+            "satisfied": tracking.satisfied,
+        }
+    devices = {
+        record.device_id: {
+            "imei_hash": record.imei_hash,
+            "device_model": record.device_model,
+            "times_selected": record.times_selected,
+            "registered_at": record.registered_at,
+        }
+        for record in server.devices.records()
+    }
+    return {
+        "epoch": server.epoch,
+        "devices": devices,
+        "tasks": sorted(live_tasks),
+        "burned_upload_ids": sorted(server._seen_upload_ids),
+        "accepted_uploads": server.stats.data_points,
+        "requests_satisfied": server.stats.requests_satisfied,
+        "assignments": assignments,
+    }
+
+
+def check_recovery_invariants(pre: dict, post: dict) -> List[str]:
+    """Compare pre-crash and post-recovery durable state.
+
+    Returns a list of human-readable violations; empty means recovery
+    was exact.  The checks encode the durability contract:
+
+    - accepted uploads are neither lost nor double-counted;
+    - burned idempotency keys are never resurrected (and none appear
+      from nowhere);
+    - fairness counters (``times_selected``) and device identities
+      match exactly — in particular they are monotone w.r.t. the last
+      checkpoint, since replay can only re-add recorded selections;
+    - open tasks and in-flight assignment bookkeeping match;
+    - the recovered server runs exactly one incarnation ahead.
+    """
+    violations: List[str] = []
+    if post["accepted_uploads"] != pre["accepted_uploads"]:
+        violations.append(
+            f"accepted uploads diverged: pre={pre['accepted_uploads']} "
+            f"post={post['accepted_uploads']}"
+        )
+    if post["requests_satisfied"] != pre["requests_satisfied"]:
+        violations.append(
+            f"requests_satisfied diverged: pre={pre['requests_satisfied']} "
+            f"post={post['requests_satisfied']}"
+        )
+    pre_burned = set(pre["burned_upload_ids"])
+    post_burned = set(post["burned_upload_ids"])
+    resurrected = pre_burned - post_burned
+    if resurrected:
+        violations.append(f"burned keys resurrected: {sorted(resurrected)}")
+    conjured = post_burned - pre_burned
+    if conjured:
+        violations.append(f"burned keys appeared from nowhere: {sorted(conjured)}")
+    if post["devices"] != pre["devices"]:
+        pre_ids = set(pre["devices"])
+        post_ids = set(post["devices"])
+        if pre_ids != post_ids:
+            violations.append(
+                f"device sets diverged: lost={sorted(pre_ids - post_ids)} "
+                f"gained={sorted(post_ids - pre_ids)}"
+            )
+        else:
+            for device_id in sorted(pre_ids):
+                if pre["devices"][device_id] != post["devices"][device_id]:
+                    violations.append(
+                        f"device {device_id} diverged: "
+                        f"pre={pre['devices'][device_id]} "
+                        f"post={post['devices'][device_id]}"
+                    )
+    if post["tasks"] != pre["tasks"]:
+        violations.append(
+            f"open tasks diverged: pre={pre['tasks']} post={post['tasks']}"
+        )
+    if post["assignments"] != pre["assignments"]:
+        pre_keys = set(pre["assignments"])
+        post_keys = set(post["assignments"])
+        for key in sorted(pre_keys ^ post_keys):
+            violations.append(f"assignment bookkeeping for {key} on one side only")
+        for key in sorted(pre_keys & post_keys):
+            if pre["assignments"][key] != post["assignments"][key]:
+                violations.append(
+                    f"assignment {key} diverged: pre={pre['assignments'][key]} "
+                    f"post={post['assignments'][key]}"
+                )
+    if post["epoch"] != pre["epoch"] + 1:
+        violations.append(
+            f"epoch did not advance by one: pre={pre['epoch']} post={post['epoch']}"
+        )
+    return violations
+
+
+def diverged(pre: dict, post: dict) -> bool:
+    """Convenience predicate over :func:`check_recovery_invariants`."""
+    return bool(check_recovery_invariants(pre, post))
+
+
+__all__ = [
+    "WriteAheadLog",
+    "DurableLog",
+    "durable_state",
+    "check_recovery_invariants",
+    "diverged",
+]

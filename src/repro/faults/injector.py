@@ -71,6 +71,10 @@ class FaultStats:
     heals: int = 0
     devices_killed: int = 0
     devices_deregistered: int = 0
+    server_crashes: int = 0
+    server_restarts: int = 0
+    overload_bursts: int = 0
+    burst_requests: int = 0
     events_executed: int = 0
     events_skipped: int = 0
 
@@ -298,6 +302,49 @@ class FaultInjector:
             raise ValueError("probability must be in [0, 1]")
         self._duplicate_probability = probability
         self.log.event("fault.set_duplication", probability=probability)
+
+    def _do_server_crash(self) -> None:
+        if self._server is None:
+            raise RuntimeError("server faults need a server reference")
+        self._server.crash()
+        self.stats.server_crashes += 1
+        self.log.event("fault.server_crash")
+
+    def _do_server_restart(self) -> None:
+        if self._server is None:
+            raise RuntimeError("server faults need a server reference")
+        self._server.restart()
+        self.stats.server_restarts += 1
+        self.log.event("fault.server_restart", epoch=self._server.epoch)
+
+    def _do_overload_burst(
+        self, rate_per_s: float, duration_s: float, request_class: str
+    ) -> None:
+        from repro.core.overload import RequestClass
+
+        if self._server is None:
+            raise RuntimeError("overload faults need a server reference")
+        if self._server.admission is None:
+            raise RuntimeError(
+                "overload_burst needs a server with an OverloadPolicy configured"
+            )
+        cls = RequestClass(request_class)
+        count = int(rate_per_s * duration_s)
+        spacing = 1.0 / rate_per_s
+        self.stats.overload_bursts += 1
+        self.log.event(
+            "fault.overload_burst",
+            rate_per_s=rate_per_s,
+            duration_s=duration_s,
+            request_class=cls.value,
+            requests=count,
+        )
+        for i in range(count):
+            self._sim.schedule(i * spacing, self._burst_tick, cls)
+
+    def _burst_tick(self, request_class) -> None:
+        self.stats.burst_requests += 1
+        self._server.admission.admit(request_class)
 
 
 def _check_range(name: str, bounds: Tuple[float, float]) -> None:

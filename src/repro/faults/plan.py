@@ -46,6 +46,9 @@ class FaultPlan:
         "clear_loss_model",
         "set_delay",
         "set_duplication",
+        "server_crash",
+        "server_restart",
+        "overload_burst",
     )
 
     def __init__(self) -> None:
@@ -152,3 +155,51 @@ class FaultPlan:
     def set_duplication(self, at: float, *, probability: float) -> "FaultPlan":
         """Duplicate messages in the core with the given probability."""
         return self.add(at, "set_duplication", probability=probability)
+
+    def server_crash(
+        self,
+        at: float,
+        *,
+        restart_after: Optional[float] = None,
+        condition: Optional[Callable[[], bool]] = None,
+    ) -> "FaultPlan":
+        """Kill the Sense-Aid server process.
+
+        Volatile state is lost; with ``restart_after`` a cold restart
+        (new incarnation epoch, WAL recovery when one is attached) is
+        scheduled too.
+        """
+        self.add(at, "server_crash", condition)
+        if restart_after is not None:
+            if restart_after <= 0:
+                raise ValueError("restart_after must be positive")
+            self.add(at + restart_after, "server_restart", None)
+        return self
+
+    def server_restart(self, at: float) -> "FaultPlan":
+        """Cold-restart the server (crashing it first if still up)."""
+        return self.add(at, "server_restart")
+
+    def overload_burst(
+        self,
+        at: float,
+        *,
+        rate_per_s: float,
+        duration_s: float,
+        request_class: str = "query",
+    ) -> "FaultPlan":
+        """Flood the server's admission controller with synthetic
+        control-plane traffic of one class, at a fixed rate, for a
+        fixed window — deterministic by construction (evenly spaced
+        arrivals, no RNG)."""
+        if rate_per_s <= 0:
+            raise ValueError("rate_per_s must be positive")
+        if duration_s <= 0:
+            raise ValueError("duration_s must be positive")
+        return self.add(
+            at,
+            "overload_burst",
+            rate_per_s=rate_per_s,
+            duration_s=duration_s,
+            request_class=request_class,
+        )

@@ -93,6 +93,37 @@ class TestFailover:
         times = sorted(round(p.sensed_at) for p in data)
         assert len(times) == len(set(times))
 
+    def test_recover_then_rebalance_returns_devices_home(self):
+        sim, network, federation = self._failing_setup()
+        federation.instance("west").crash()
+        sim.run(until=100.0)
+        assert federation.home_region("w1") == "east"
+        federation.recover_instance("west")
+        # recover_instance is a cold restart: new incarnation epoch.
+        assert federation.instance("west").epoch == 2
+        assert not federation.instance("west").crashed
+        moved = federation.rebalance()
+        assert moved == 2  # w1 and w2 go home; e1 stays east
+        for device_id in ("w1", "w2"):
+            assert federation.home_region(device_id) == "west"
+            assert device_id in federation.instance("west").devices
+            assert device_id not in federation.instance("east").devices
+        # The round-trip left no duplicate registrations behind: a
+        # second rebalance finds everyone already home.
+        assert federation.rebalance() == 0
+
+    def test_recovered_instance_can_fail_over_again(self):
+        sim, network, federation = self._failing_setup()
+        federation.instance("west").crash()
+        sim.run(until=100.0)
+        assert federation.failovers == 1
+        federation.recover_instance("west")
+        federation.rebalance()
+        federation.instance("west").crash()
+        sim.run(until=200.0)
+        assert federation.failovers == 2
+        assert federation.home_region("w1") == "east"
+
     def test_failover_without_monitor_never_triggers(self):
         sim = Simulator()
         network, federation = make_federation(sim)

@@ -1,0 +1,423 @@
+"""Tests for the durability subsystem: the write-ahead log, crash-safe
+checkpoints, cold-restart recovery, and server incarnation epochs."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.cellular.enodeb import ENodeB, TowerRegistry
+from repro.cellular.network import CellularNetwork, DeliveryReceipt
+from repro.cellular.packets import Message, MessageKind
+from repro.clientlib.client import SenseAidClient
+from repro.core.config import RetryPolicy, SenseAidConfig, ServerMode
+from repro.core.persistence import (
+    atomic_write_json,
+    checkpoint_server,
+    load_checkpoint,
+    save_checkpoint,
+    stats_from_dict,
+)
+from repro.core.server import SenseAidServer
+from repro.core.wal import (
+    DurableLog,
+    WriteAheadLog,
+    check_recovery_invariants,
+    durable_state,
+)
+from repro.faults import FaultInjector, FaultPlan
+from repro.sim.engine import Simulator
+from tests.conftest import make_device
+from tests.test_core_server import CENTER, make_spec
+
+RETRY = RetryPolicy(
+    max_attempts=4,
+    ack_timeout_s=20.0,
+    backoff_base_s=10.0,
+    backoff_multiplier=2.0,
+    jitter_fraction=0.0,
+    tail_wait_max_s=30.0,
+)
+
+
+def wal_setup(sim, wal_dir, n_devices=2, *, retry=RETRY, config=None, plan=None):
+    """A one-tower deployment whose server journals to ``wal_dir``."""
+    registry = TowerRegistry([ENodeB("t0", CENTER, coverage_radius_m=5000.0)])
+    network = CellularNetwork(sim)
+    server = SenseAidServer(
+        sim,
+        registry,
+        network,
+        config or SenseAidConfig(mode=ServerMode.COMPLETE, deadline_grace_s=60.0),
+        wal=DurableLog(str(wal_dir)),
+    )
+    injector = None
+    if plan is not None:
+        injector = FaultInjector(sim, network, registry, server=server, plan=plan)
+    clients = []
+    for i in range(n_devices):
+        device = make_device(sim, f"d{i}", position=CENTER)
+        client = SenseAidClient(
+            sim, device, server, network, retry_policy=retry
+        )
+        client.register()
+        if injector is not None:
+            injector.adopt_client(client)
+        clients.append(client)
+    return server, network, injector, clients
+
+
+class TestWriteAheadLog:
+    def test_append_and_read_back(self, tmp_path):
+        wal = WriteAheadLog(str(tmp_path))
+        wal.append("register", device_id="d0")
+        wal.append("assign", request_id="task1-r0", device_id="d0")
+        entries = wal.entries()
+        assert [e["kind"] for e in entries] == ["register", "assign"]
+        assert [e["seq"] for e in entries] == [1, 2]
+
+    def test_sequence_resumes_after_reopen(self, tmp_path):
+        WriteAheadLog(str(tmp_path)).append("register", device_id="d0")
+        reopened = WriteAheadLog(str(tmp_path))
+        entry = reopened.append("deregister", device_id="d0")
+        assert entry["seq"] == 2
+        assert len(reopened.entries()) == 2
+
+    def test_torn_tail_is_dropped(self, tmp_path):
+        wal = WriteAheadLog(str(tmp_path))
+        wal.append("register", device_id="d0")
+        wal.append("register", device_id="d1")
+        with open(wal.log_path, "a", encoding="utf-8") as f:
+            f.write('{"seq": 3, "kind": "regi')  # crash mid-append
+        assert [e["seq"] for e in wal.entries()] == [1, 2]
+
+    def test_nothing_after_a_torn_line_is_trusted(self, tmp_path):
+        wal = WriteAheadLog(str(tmp_path))
+        wal.append("register", device_id="d0")
+        with open(wal.log_path, "a", encoding="utf-8") as f:
+            f.write('{"torn\n')
+            f.write(json.dumps({"seq": 3, "kind": "register"}) + "\n")
+        assert [e["seq"] for e in wal.entries()] == [1]
+
+    def test_compact_installs_checkpoint_and_truncates(self, tmp_path):
+        wal = WriteAheadLog(str(tmp_path))
+        wal.append("register", device_id="d0")
+        wal.compact({"version": 2, "marker": 7})
+        assert wal.entries() == []
+        assert wal.load_checkpoint()["marker"] == 7
+
+    def test_unsupported_checkpoint_version_rejected(self, tmp_path):
+        wal = WriteAheadLog(str(tmp_path))
+        atomic_write_json(wal.checkpoint_path, {"version": 99})
+        with pytest.raises(ValueError, match="version"):
+            wal.load_checkpoint()
+
+    def test_missing_files_mean_empty_log(self, tmp_path):
+        wal = WriteAheadLog(str(tmp_path))
+        assert wal.entries() == []
+        assert wal.load_checkpoint() is None
+
+
+class TestAtomicCheckpointWrites:
+    def test_save_checkpoint_round_trips(self, tmp_path):
+        sim = Simulator(seed=5)
+        server, _, _, _ = wal_setup(sim, tmp_path / "wal")
+        path = str(tmp_path / "ckpt.json")
+        save_checkpoint(server, path)
+        snapshot = load_checkpoint(path)
+        assert snapshot["version"] == 2
+        assert {d["device_id"] for d in snapshot["devices"]} == {"d0", "d1"}
+        assert not [
+            name for name in os.listdir(str(tmp_path)) if name.endswith(".tmp")
+        ]
+
+    def test_failed_write_leaves_previous_file_intact(self, tmp_path):
+        path = str(tmp_path / "ckpt.json")
+        atomic_write_json(path, {"version": 2, "generation": 1})
+        with pytest.raises(TypeError):
+            atomic_write_json(path, {"version": 2, "bad": {1, 2}})
+        assert load_checkpoint(path)["generation"] == 1
+        assert not [
+            name for name in os.listdir(str(tmp_path)) if name.endswith(".tmp")
+        ]
+
+
+class TestCheckpointV2:
+    """Satellite: checkpoints carry stats, burned keys, and pending
+    assignment bookkeeping, and they round-trip."""
+
+    def _run_scenario(self, tmp_path, seed=11):
+        sim = Simulator(seed=seed)
+        server, network, _, clients = wal_setup(sim, tmp_path / "wal")
+        collected = []
+        server.submit_task(
+            make_spec(spatial_density=2, sampling_duration_s=1800.0),
+            collected.append,
+        )
+        sim.run(until=650.0)
+        return sim, server, network, collected
+
+    def test_checkpoint_carries_durable_accounting(self, tmp_path):
+        _, server, _, _ = self._run_scenario(tmp_path)
+        assert server.stats.data_points > 0
+        snapshot = checkpoint_server(server)
+        assert snapshot["version"] == 2
+        assert snapshot["epoch"] == server.epoch
+        assert stats_from_dict(snapshot["stats"]) == server.stats
+        assert snapshot["seen_upload_ids"] == sorted(server._seen_upload_ids)
+        by_id = {p["request_id"]: p for p in snapshot["pending"]}
+        assert set(by_id) == set(server._tracking)
+        for request_id, tracking in server._tracking.items():
+            assert by_id[request_id]["assigned"] == sorted(tracking.assigned)
+            assert by_id[request_id]["received"] == sorted(tracking.received)
+            assert by_id[request_id]["satisfied"] == tracking.satisfied
+
+    def test_restore_server_round_trips_new_fields(self, tmp_path):
+        from repro.core.persistence import restore_server
+
+        sim, server, network, collected = self._run_scenario(tmp_path)
+        path = str(tmp_path / "ckpt.json")
+        save_checkpoint(server, path)
+
+        registry = TowerRegistry([ENodeB("t1", CENTER, coverage_radius_m=5000.0)])
+        fresh = SenseAidServer(
+            sim,
+            registry,
+            network,
+            SenseAidConfig(mode=ServerMode.COMPLETE, deadline_grace_s=60.0),
+        )
+        resumed = restore_server(
+            fresh, load_checkpoint(path), {"cas": lambda p: None}
+        )
+        assert resumed == 1
+        assert fresh.epoch == server.epoch
+        assert fresh.stats.data_points == server.stats.data_points
+        assert fresh.stats.requests_satisfied == server.stats.requests_satisfied
+        assert fresh._seen_upload_ids == server._seen_upload_ids
+        assert set(fresh.devices.device_ids()) == set(server.devices.device_ids())
+        for device_id in server.devices.device_ids():
+            assert (
+                fresh.devices.record(device_id).times_selected
+                == server.devices.record(device_id).times_selected
+            )
+        # Pending bookkeeping with a live deadline came back too.
+        live = {
+            rid
+            for rid, t in server._tracking.items()
+            if t.request.deadline > sim.now
+        }
+        assert live and live <= set(fresh._tracking)
+        for rid in live:
+            assert fresh._tracking[rid].assigned == server._tracking[rid].assigned
+            assert fresh._tracking[rid].received == server._tracking[rid].received
+        fresh.shutdown()
+
+
+def _sensor_data_message(payload):
+    return Message(
+        kind=MessageKind.SENSOR_DATA, sender=payload["device_id"], size_bytes=120,
+        payload=payload,
+    )
+
+
+def _receipt(sim, message):
+    return DeliveryReceipt(
+        message_id=message.message_id,
+        radio_complete_at=sim.now,
+        delivered_at=sim.now,
+        path="path2",
+    )
+
+
+class TestRestartRecovery:
+    """Tentpole: checkpoint + WAL replay reaches the exact pre-crash
+    durable state, and clients re-establish sessions via epoch resync."""
+
+    def _crashed_scenario(self, tmp_path, *, crash_at=650.0, restart_at=700.0):
+        sim = Simulator(seed=23)
+        server, network, _, clients = wal_setup(sim, tmp_path / "wal")
+        collected = []
+        server.submit_task(
+            make_spec(spatial_density=2, sampling_duration_s=1800.0),
+            collected.append,
+        )
+        sim.run(until=crash_at)
+        server.crash()
+        sim.run(until=restart_at)
+        return sim, server, clients, collected
+
+    def test_restart_restores_exact_durable_state(self, tmp_path):
+        sim, server, _, _ = self._crashed_scenario(tmp_path)
+        pre = durable_state(server)
+        assert pre["accepted_uploads"] > 0
+        assert pre["assignments"]
+        server.restart()
+        post = durable_state(server)
+        assert check_recovery_invariants(pre, post) == []
+        assert server.epoch == 2
+
+    def test_clients_resync_and_collection_resumes(self, tmp_path):
+        sim, server, clients, collected = self._crashed_scenario(tmp_path)
+        before = server.stats.data_points
+        server.restart()
+        for client in clients:
+            assert client.stats.epoch_resyncs >= 1
+            assert client._server_epoch == server.epoch
+        sim.run(until=1400.0)
+        assert server.stats.data_points > before
+        assert all(p.task_id is not None for p in collected)
+
+    def test_stale_epoch_upload_rejected(self, tmp_path):
+        sim, server, _, _ = self._crashed_scenario(tmp_path)
+        server.restart()
+        before = server.stats.data_points
+        message = _sensor_data_message(
+            {
+                "device_id": "d0",
+                "request_id": "task999-r0",
+                "value": 1013.0,
+                "epoch": 1,  # previous incarnation
+            }
+        )
+        ack = server.receive_sensed_data(message, _receipt(sim, message))
+        assert ack is not None and not ack.accepted
+        assert ack.reason == "stale_epoch"
+        assert server.stats.stale_epoch_uploads == 1
+        assert server.stats.data_points == before
+
+    def test_burned_keys_stay_burned_across_restart(self, tmp_path):
+        sim, server, _, _ = self._crashed_scenario(tmp_path)
+        burned = sorted(server._seen_upload_ids)
+        assert burned
+        server.restart()
+        assert set(burned) <= server._seen_upload_ids
+        before = server.stats.data_points
+        upload_id = burned[0]
+        device_id, request_id = upload_id.split(":", 1)
+        message = _sensor_data_message(
+            {
+                "device_id": device_id,
+                "request_id": request_id,
+                "upload_id": upload_id,
+                "value": 1013.0,
+                "epoch": server.epoch,
+            }
+        )
+        ack = server.receive_sensed_data(message, _receipt(sim, message))
+        assert ack is not None and ack.accepted and ack.reason == "duplicate"
+        assert server.stats.data_points == before
+
+    def test_midrun_compaction_preserves_recovery(self, tmp_path):
+        sim = Simulator(seed=31)
+        server, _, _, _ = wal_setup(sim, tmp_path / "wal")
+        collected = []
+        server.submit_task(
+            make_spec(spatial_density=2, sampling_duration_s=1800.0),
+            collected.append,
+        )
+        sim.run(until=300.0)
+        server._wal.checkpoint(server)
+        assert server._wal.wal.entries() == []  # log bounded
+        sim.run(until=650.0)
+        pre = durable_state(server)
+        server.crash()
+        sim.run(until=700.0)
+        pre = durable_state(server)
+        server.restart()
+        assert check_recovery_invariants(pre, durable_state(server)) == []
+
+    def test_repeated_crash_restart_cycles(self, tmp_path):
+        sim = Simulator(seed=47)
+        server, _, _, clients = wal_setup(sim, tmp_path / "wal")
+        server.submit_task(
+            make_spec(spatial_density=2, sampling_duration_s=3600.0),
+            lambda p: None,
+        )
+        expected_epoch = 1
+        for crash_at, restart_at in ((400.0, 450.0), (900.0, 930.0), (1500.0, 1600.0)):
+            sim.run(until=crash_at)
+            server.crash()
+            sim.run(until=restart_at)
+            pre = durable_state(server)
+            server.restart()
+            expected_epoch += 1
+            assert check_recovery_invariants(pre, durable_state(server)) == []
+            assert server.epoch == expected_epoch
+        sim.run(until=2200.0)
+        assert server.stats.data_points > 0
+
+    def test_fault_plan_drives_crash_and_restart(self, tmp_path):
+        sim = Simulator(seed=59)
+        plan = FaultPlan().server_crash(650.0, restart_after=50.0)
+        server, _, injector, clients = wal_setup(
+            sim, tmp_path / "wal", plan=plan
+        )
+        server.submit_task(
+            make_spec(spatial_density=2, sampling_duration_s=1800.0),
+            lambda p: None,
+        )
+        sim.run(until=1400.0)
+        assert injector.stats.server_crashes == 1
+        assert injector.stats.server_restarts == 1
+        assert server.epoch == 2
+        assert all(c.stats.epoch_resyncs >= 1 for c in clients)
+        assert server.stats.data_points > 0
+
+
+class TestEpochSemantics:
+    def test_warm_recover_keeps_epoch(self, tmp_path):
+        sim = Simulator(seed=3)
+        server, _, _, clients = wal_setup(sim, tmp_path / "wal")
+        sim.run(until=100.0)
+        server.crash()
+        sim.run(until=150.0)
+        server.recover()
+        assert server.epoch == 1
+        assert all(c.stats.epoch_resyncs == 0 for c in clients)
+
+    def test_restart_without_wal_bumps_epoch_and_keeps_datastores(self):
+        sim = Simulator(seed=7)
+        registry = TowerRegistry([ENodeB("t0", CENTER, coverage_radius_m=5000.0)])
+        network = CellularNetwork(sim)
+        server = SenseAidServer(sim, registry, network)
+        client = SenseAidClient(
+            sim, make_device(sim, "d0", position=CENTER), server, network,
+            retry_policy=RETRY,
+        )
+        client.register()
+        server.restart()
+        assert server.epoch == 2
+        assert "d0" in server.devices  # datastore stands in for storage
+        assert client.stats.epoch_resyncs == 1
+        assert client._server_epoch == 2
+        server.shutdown()
+
+    def test_invariant_checker_flags_divergence(self):
+        pre = {
+            "epoch": 1,
+            "devices": {"d0": {"times_selected": 3}},
+            "tasks": [1],
+            "burned_upload_ids": ["d0:task1-r0"],
+            "accepted_uploads": 4,
+            "requests_satisfied": 2,
+            "assignments": {"task1-r1": {"assigned": ["d0"]}},
+        }
+        post = {
+            "epoch": 3,  # skipped an incarnation
+            "devices": {"d0": {"times_selected": 2}},  # lost a selection
+            "tasks": [],
+            "burned_upload_ids": [],  # resurrected key
+            "accepted_uploads": 5,  # double count
+            "requests_satisfied": 2,
+            "assignments": {},
+        }
+        violations = check_recovery_invariants(pre, post)
+        text = "\n".join(violations)
+        assert "accepted uploads" in text
+        assert "resurrected" in text
+        assert "d0" in text
+        assert "open tasks" in text
+        assert "epoch" in text
+        assert check_recovery_invariants(pre, dict(pre, epoch=2)) == []
