@@ -12,6 +12,7 @@ state, and a message-passing network between devices and servers.
 
 from repro.cellular.enodeb import ENodeB, TowerRegistry
 from repro.cellular.network import CellularNetwork, DeliveryReceipt
+from repro.cellular.spatial import UniformGridIndex
 from repro.cellular.packets import Message, MessageKind, TrafficCategory
 from repro.cellular.power import (
     LTE_POWER_PROFILE,
@@ -34,4 +35,5 @@ __all__ = [
     "TailPolicy",
     "TowerRegistry",
     "TrafficCategory",
+    "UniformGridIndex",
 ]

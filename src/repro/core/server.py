@@ -171,6 +171,10 @@ class SenseAidServer:
         self._sim = sim
         self._registry = registry
         self._network = network
+        # Share the simulation clock (refresh memoisation) and perf
+        # probes with the registry's spatial index.
+        self._registry.bind(sim)
+        self._perf = sim.perf
         self.config = config if config is not None else SenseAidConfig()
         self.devices = DeviceDatastore()
         self.tasks = TaskDatastore()
@@ -199,6 +203,20 @@ class SenseAidServer:
         #: Durable log (``repro.core.wal.DurableLog``-shaped, duck
         #: typed so core.server never imports the persistence stack).
         self._wal = wal
+        # --- Incremental qualification (see docs/performance.md) ---
+        #: Registration-membership change counter; together with the
+        #: registry's version it keys the qualification caches, so
+        #: candidate sets are invalidated by events, not recomputed
+        #: per request.
+        self._membership_version = 0
+        #: Per-(sensor, device_type) candidate sets — the static half
+        #: of qualification, maintained on register/deregister.
+        self._eligible_by_filter: Dict[Tuple[SensorType, Optional[str]], Set[str]] = {}
+        #: Per-task qualified-device memo for the current instant.
+        self._qual_cache: Dict[int, Tuple[tuple, List[str]]] = {}
+        self._qual_cache_time: Optional[float] = None
+        #: Edge-view snapshot key: (now, registry version, membership).
+        self._edge_view_key: Optional[tuple] = None
         #: Admission controller, present only when the config opts in.
         self.admission: Optional[AdmissionController] = (
             AdmissionController(sim, self.config.overload)
@@ -298,6 +316,12 @@ class SenseAidServer:
         self._assignment_handlers.clear()
         self.run_queue = RequestQueue("run")
         self.wait_queue = RequestQueue("wait")
+        # The replacement process starts with cold qualification caches.
+        self._eligible_by_filter.clear()
+        self._qual_cache.clear()
+        self._qual_cache_time = None
+        self._edge_view_key = None
+        self._membership_version += 1
         if self._wal is not None:
             self.devices = DeviceDatastore()
             self.tasks = TaskDatastore()
@@ -353,6 +377,7 @@ class SenseAidServer:
         self.devices.register(record)
         self._registry.attach_device(device)
         self._assignment_handlers[device.device_id] = assignment_handler
+        self._note_device_added(record)
         if self._wal is not None:
             self._wal.record_register(record)
         return record
@@ -398,8 +423,23 @@ class SenseAidServer:
         self.devices.deregister(device_id)
         self._registry.detach_device(device_id)
         self._assignment_handlers.pop(device_id, None)
+        self._note_device_removed(device_id)
         if self._wal is not None:
             self._wal.record_deregister(device_id)
+
+    def _note_device_added(self, record: DeviceRecord) -> None:
+        """Fold a new registration into the standing candidate sets."""
+        for (sensor, device_type), eligible in self._eligible_by_filter.items():
+            if sensor in record.sensors and (
+                device_type is None or record.device_model == device_type
+            ):
+                eligible.add(record.device_id)
+        self._membership_version += 1
+
+    def _note_device_removed(self, device_id: str) -> None:
+        for eligible in self._eligible_by_filter.values():
+            eligible.discard(device_id)
+        self._membership_version += 1
 
     def update_preferences(
         self,
@@ -531,21 +571,57 @@ class SenseAidServer:
 
         Signed up, currently inside the task's circular region (the
         edge's location view), carrying the required sensor, and
-        matching any device-type restriction.
+        matching any device-type restriction.  Ordered nearest-first
+        (distance to the task centre, then device id).
+
+        Qualification is incremental: the sensor/device-type half is a
+        standing per-filter candidate set maintained on registration
+        events, the region half is a spatial-index bucket query, and
+        the combined answer is memoised per (task, instant) — so
+        wait-queue re-checks and same-deadline reassignments reuse one
+        computation instead of re-deriving the set per request.
         """
         task = request.task
-        in_region = self._registry.devices_within(task.center, task.area_radius_m)
-        qualified = []
-        for device_id in in_region:
-            if device_id not in self.devices:
-                continue
-            record = self.devices.record(device_id)
-            if task.sensor_type not in record.sensors:
-                continue
-            if task.device_type is not None and record.device_model != task.device_type:
-                continue
-            qualified.append(device_id)
+        now = self._sim.now
+        if self._qual_cache_time != now:
+            self._qual_cache.clear()
+            self._qual_cache_time = now
+        cache_key = (task, self._registry.version, self._membership_version)
+        hit = self._qual_cache.get(task.task_id)
+        if hit is not None and hit[0] == cache_key:
+            self._perf.count("server.qualified_devices.memo_hit")
+            return list(hit[1])
+        with self._perf.measure("server.qualified_devices") as m:
+            in_region = self._registry.devices_within(
+                task.center, task.area_radius_m
+            )
+            eligible = self._eligible_for(task)
+            qualified = [d for d in in_region if d in eligible]
+            m.items = len(in_region)
+        self._qual_cache[task.task_id] = (cache_key, list(qualified))
         return qualified
+
+    def _eligible_for(self, task: TaskSpec) -> Set[str]:
+        """The standing (sensor, device-type) candidate set for a task.
+
+        Built once per distinct filter pair by a single datastore scan,
+        then maintained incrementally by registration events — never
+        recomputed per request.
+        """
+        key = (task.sensor_type, task.device_type)
+        eligible = self._eligible_by_filter.get(key)
+        if eligible is None:
+            eligible = {
+                record.device_id
+                for record in self.devices.records()
+                if task.sensor_type in record.sensors
+                and (
+                    task.device_type is None
+                    or record.device_model == task.device_type
+                )
+            }
+            self._eligible_by_filter[key] = eligible
+        return eligible
 
     def _issue_request(
         self, request: SensingRequest, epoch: Optional[int] = None
@@ -728,11 +804,30 @@ class SenseAidServer:
             self._assign(tracking.request, scored.device_id, tracking)
 
     def _check_wait_queue(self) -> None:
+        """Periodic wait-queue drain, batched per edge snapshot.
+
+        One edge refresh covers the whole drain (the memo in
+        :meth:`_refresh_edge_view` makes the per-request call free),
+        and requests of the same task share one qualification via the
+        per-instant memo — so a drain costs one snapshot plus one
+        bucket query per distinct waiting task, not one fleet scan per
+        request.  A spatial candidate count (an upper bound on the
+        qualified set) rejects still-starved requests before any
+        record is scored.
+        """
         expired = self.wait_queue.drop_expired(self._sim.now)
         self.stats.requests_expired += len(expired)
+        self._refresh_edge_view()
 
         def satisfiable(request: SensingRequest) -> bool:
             self._refresh_edge_view()
+            task = request.task
+            upper_bound = self._registry.candidate_count_within(
+                task.center, task.area_radius_m
+            )
+            if upper_bound < request.devices_needed:
+                self._perf.count("server.wait_check.early_reject")
+                return False
             qualified = [
                 self.devices.record(d) for d in self.qualified_devices(request)
             ]
@@ -743,7 +838,10 @@ class SenseAidServer:
                 is not None
             )
 
-        for request in self.wait_queue.drain_satisfiable(satisfiable):
+        with self._perf.measure("server.wait_check") as m:
+            drained = self.wait_queue.drain_satisfiable(satisfiable)
+            m.items = len(drained)
+        for request in drained:
             self.run_queue.push(request)
         self._drain_run_queue()
 
@@ -753,18 +851,36 @@ class SenseAidServer:
         A third-party (non-carrier) deployment has no live RRC
         visibility, so its records keep whatever last-comm times the
         devices reported themselves.
+
+        Memoised per (instant, registry version, membership version):
+        positions are pure functions of simulation time and radio
+        completions fire at ``PRIORITY_RADIO`` before any scheduling
+        event at the same instant, so within one instant a second
+        snapshot could only ever recompute identical values.
         """
-        self._registry.refresh_attachments()
-        if not self.config.carrier_integrated:
-            return
         now = self._sim.now
-        for device_id in self.devices.device_ids():
-            try:
-                age = self._registry.seconds_since_last_comm(device_id)
-            except KeyError:
-                continue
-            if age is not None:
-                self.devices.update_state(device_id, last_comm_time=now - age)
+        key = (now, self._registry.version, self._membership_version)
+        if self._edge_view_key == key:
+            self._perf.count("server.edge_refresh.memo_hit")
+            return
+        with self._perf.measure("server.edge_refresh") as m:
+            self._registry.refresh_attachments()
+            if self.config.carrier_integrated:
+                synced = 0
+                for device_id in self.devices.device_ids():
+                    try:
+                        age = self._registry.seconds_since_last_comm(device_id)
+                    except KeyError:
+                        continue
+                    if age is not None:
+                        self.devices.update_state(
+                            device_id, last_comm_time=now - age
+                        )
+                    synced += 1
+                m.items = synced
+        # Attachment refresh does not bump the registry version, so the
+        # key computed above is still current.
+        self._edge_view_key = (now, self._registry.version, self._membership_version)
 
     # ------------------------------------------------------------------
     # Data path

@@ -22,6 +22,16 @@ class MobilityModel:
     def position_at(self, time: float) -> Point:
         raise NotImplementedError
 
+    def position_valid_until(self, time: float) -> float:
+        """Latest instant the position at ``time`` is guaranteed unchanged.
+
+        The spatial-index refresh uses this to skip devices that are
+        provably stationary (mid-pause) instead of re-reading every
+        position on every snapshot.  Returning ``time`` (the default)
+        promises nothing and keeps the old always-re-read behaviour.
+        """
+        return time
+
 
 class StaticMobility(MobilityModel):
     """A user who never moves — useful in unit tests and quickstarts."""
@@ -31,6 +41,9 @@ class StaticMobility(MobilityModel):
 
     def position_at(self, time: float) -> Point:
         return self._position
+
+    def position_valid_until(self, time: float) -> float:
+        return float("inf")
 
 
 @dataclass
@@ -100,6 +113,21 @@ class RandomWaypointMobility(MobilityModel):
         self._extend_until(time)
         leg = self._find_leg(time)
         return leg.position_at(time)
+
+    def position_valid_until(self, time: float) -> float:
+        """End of the current pause leg, or ``time`` while walking.
+
+        Extends the itinerary exactly like :meth:`position_at`, so the
+        per-user RNG stream is consumed in the same order whether the
+        caller polls positions or validity windows.
+        """
+        if time < 0:
+            raise ValueError(f"time must be non-negative, got {time!r}")
+        self._extend_until(time)
+        leg = self._find_leg(time)
+        if leg.start == leg.end:  # pause: stationary until the leg ends
+            return leg.end_time
+        return time
 
     def _extend_until(self, time: float) -> None:
         while self._legs[-1].end_time < time:

@@ -11,6 +11,7 @@ from repro.sim.clock import SimClock
 from repro.sim.engine import Simulator
 from repro.sim.events import Event, EventQueue
 from repro.sim.metrics import Counter, MetricsRegistry, StateResidency, TimeSeries
+from repro.sim.perf import PerfProbe, PerfRegistry, events_per_second
 from repro.sim.processes import PeriodicProcess
 from repro.sim.rng import RandomStreams
 
@@ -19,10 +20,13 @@ __all__ = [
     "Event",
     "EventQueue",
     "MetricsRegistry",
+    "PerfProbe",
+    "PerfRegistry",
     "PeriodicProcess",
     "RandomStreams",
     "SimClock",
     "Simulator",
     "StateResidency",
     "TimeSeries",
+    "events_per_second",
 ]

@@ -12,6 +12,7 @@ from typing import Any, Callable, Optional
 from repro.sim.clock import SimClock
 from repro.sim.events import Event, EventQueue
 from repro.sim.metrics import MetricsRegistry
+from repro.sim.perf import PerfRegistry
 from repro.sim.rng import RandomStreams
 
 # Priorities for simultaneous events: infrastructure state changes fire
@@ -28,6 +29,9 @@ class Simulator:
         self.clock = SimClock(start_time)
         self.rng = RandomStreams(seed)
         self.metrics = MetricsRegistry()
+        #: Wall-clock perf probes for hot paths; never feeds the
+        #: simulation, so instrumentation cannot perturb determinism.
+        self.perf = PerfRegistry()
         self._queue = EventQueue()
         self._running = False
         self._event_count = 0

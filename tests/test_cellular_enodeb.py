@@ -85,7 +85,12 @@ class TestTowerRegistry:
         registry.attach_device(near)
         registry.attach_device(far)
         assert registry.devices_within(Point(0.0, 0.0), 100.0) == ["near"]
-        assert registry.devices_within(Point(0.0, 0.0), 2000.0) == ["far", "near"]
+        # Deterministic ordering contract: nearest first, ids break ties.
+        assert registry.devices_within(Point(0.0, 0.0), 2000.0) == ["near", "far"]
+        assert registry.devices_within_scan(Point(0.0, 0.0), 2000.0) == [
+            "near",
+            "far",
+        ]
 
     def test_devices_within_negative_radius(self):
         with pytest.raises(ValueError):

@@ -1,0 +1,137 @@
+"""Unit tests for the perf-counter layer (repro.sim.perf)."""
+
+from __future__ import annotations
+
+from repro.sim.engine import Simulator
+from repro.sim.metrics import MetricsRegistry
+from repro.sim.perf import PerfRegistry, events_per_second
+
+
+class TestPerfProbe:
+    def test_observe_accumulates(self):
+        perf = PerfRegistry()
+        probe = perf.probe("op")
+        probe.observe(0.5, 10)
+        probe.observe(0.25, 4)
+        assert probe.calls == 2
+        assert probe.wall_s == 0.75
+        assert probe.items == 14
+        assert probe.max_items == 10
+        assert probe.items_per_call() == 7.0
+
+    def test_zero_call_rates(self):
+        probe = PerfRegistry().probe("idle")
+        assert probe.items_per_call() == 0.0
+        assert probe.rate_per_s() == 0.0
+
+    def test_same_name_same_probe(self):
+        perf = PerfRegistry()
+        assert perf.probe("x") is perf.probe("x")
+
+
+class TestMeasure:
+    def test_measure_times_and_counts(self):
+        perf = PerfRegistry()
+        with perf.measure("work") as m:
+            m.items = 42
+        probe = perf.probe("work")
+        assert probe.calls == 1
+        assert probe.items == 42
+        assert probe.wall_s >= 0.0
+
+    def test_count_is_untimed(self):
+        perf = PerfRegistry()
+        perf.count("hits")
+        perf.count("hits", items=3)
+        probe = perf.probe("hits")
+        assert probe.calls == 2
+        assert probe.items == 3
+        assert probe.wall_s == 0.0
+
+
+class TestSnapshotAndExport:
+    def test_snapshot_shape(self):
+        perf = PerfRegistry()
+        perf.count("a", items=2)
+        snap = perf.snapshot()
+        assert snap["a"]["calls"] == 1
+        assert snap["a"]["items"] == 2
+        assert set(snap["a"]) == {
+            "calls",
+            "wall_s",
+            "items",
+            "max_items",
+            "items_per_call",
+        }
+
+    def test_export_to_metrics(self):
+        perf = PerfRegistry()
+        perf.count("op", items=5)
+        metrics = MetricsRegistry()
+        perf.export_to(metrics)
+        values = metrics.counter_values()
+        assert values["perf.op.calls"] == 1
+        assert values["perf.op.items"] == 5
+
+    def test_reset(self):
+        perf = PerfRegistry()
+        perf.count("op")
+        perf.reset()
+        assert perf.snapshot() == {}
+
+
+def test_simulator_owns_a_perf_registry():
+    sim = Simulator(seed=1)
+    assert isinstance(sim.perf, PerfRegistry)
+    sim.perf.count("anything")
+    assert sim.perf.probe("anything").calls == 1
+
+
+def test_events_per_second():
+    assert events_per_second(100, 2.0) == 50.0
+    assert events_per_second(100, 0.0) == 0.0
+    assert events_per_second(100, None) == 0.0
+
+
+def test_server_instruments_hot_paths():
+    """A full little run leaves the expected probes populated."""
+    from repro.cellular.enodeb import TowerRegistry, grid_towers
+    from repro.cellular.network import CellularNetwork
+    from repro.clientlib import SenseAidClient
+    from repro.core.config import SenseAidConfig, ServerMode
+    from repro.core.server import SenseAidServer
+    from repro.devices.sensors import SensorType
+    from repro.environment.campus import default_campus
+    from repro.environment.population import PopulationConfig, build_population
+    from repro.serverlib import CrowdsensingAppServer
+
+    sim = Simulator(seed=17)
+    campus = default_campus()
+    registry = TowerRegistry(grid_towers(campus.width_m, campus.height_m))
+    network = CellularNetwork(sim)
+    devices = build_population(sim, campus, PopulationConfig(size=15))
+    server = SenseAidServer(
+        sim, registry, network, SenseAidConfig(mode=ServerMode.COMPLETE)
+    )
+    for device in devices:
+        SenseAidClient(sim, device, server, network).register()
+    app = CrowdsensingAppServer(server, "probe-check")
+    app.task(
+        SensorType.BAROMETER,
+        campus.site("CS department").position,
+        area_radius_m=1200.0,
+        spatial_density=2,
+        sampling_period_s=300.0,
+        sampling_duration_s=900.0,
+    )
+    sim.run(until=1000.0)
+    server.shutdown()
+
+    probes = sim.perf.probes()
+    assert probes["registry.devices_within"].calls > 0
+    assert probes["server.qualified_devices"].calls > 0
+    assert probes["server.edge_refresh"].calls > 0
+    # The registry shares the simulator's perf registry via bind().
+    assert registry.perf is sim.perf
+    # Per-query touched devices is bounded by the fleet.
+    assert probes["registry.devices_within"].max_items <= len(devices)

@@ -1,0 +1,249 @@
+"""The spatial index's exactness contract.
+
+The uniform grid is a pure accelerator: every query must return
+bit-identical results to the brute-force scan, including ordering
+(distance from the centre, then device id), and a full simulation must
+produce the same selection log whether the index is on or off.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cellular.enodeb import ENodeB, TowerRegistry, grid_towers
+from repro.cellular.network import CellularNetwork
+from repro.cellular.spatial import UniformGridIndex
+from repro.clientlib import SenseAidClient
+from repro.core.config import SenseAidConfig, ServerMode
+from repro.core.server import SenseAidServer
+from repro.devices.sensors import SensorType
+from repro.environment.campus import STUDY_SITES, default_campus
+from repro.environment.geometry import Point
+from repro.environment.mobility import RandomWaypointMobility, StaticMobility
+from repro.environment.population import PopulationConfig, build_population
+from repro.serverlib import CrowdsensingAppServer
+from repro.sim.engine import Simulator
+from tests.conftest import make_device
+
+
+class _Dot:
+    """Minimal registry device: id + position, no modem needed."""
+
+    def __init__(self, device_id: str, position: Point) -> None:
+        self.device_id = device_id
+        self._position = position
+        self.modem = None
+        self.mobility = StaticMobility(position)
+
+    def position(self) -> Point:
+        return self._position
+
+
+def _registry(cell_size_m: float = 500.0, **kwargs) -> TowerRegistry:
+    return TowerRegistry(
+        grid_towers(3000.0, 3000.0, rows=2, cols=2),
+        cell_size_m=cell_size_m,
+        **kwargs,
+    )
+
+
+class TestUniformGridIndex:
+    def test_rejects_bad_cell_size(self):
+        with pytest.raises(ValueError):
+            UniformGridIndex(0.0)
+
+    def test_update_moves_between_buckets(self):
+        grid = UniformGridIndex(100.0)
+        assert grid.update("a", Point(10.0, 10.0)) is True
+        assert grid.update("a", Point(20.0, 20.0)) is False  # same cell
+        assert grid.update("a", Point(150.0, 10.0)) is True
+        assert len(grid) == 1
+        assert grid.bucket_count() == 1
+
+    def test_remove(self):
+        grid = UniformGridIndex(100.0)
+        grid.update("a", Point(0.0, 0.0))
+        grid.remove("a")
+        assert "a" not in grid
+        assert grid.bucket_count() == 0
+        grid.remove("a")  # idempotent
+
+    def test_negative_coordinates(self):
+        grid = UniformGridIndex(100.0)
+        grid.update("neg", Point(-50.0, -50.0))
+        assert [i for _, i in grid.query_circle(Point(0.0, 0.0), 100.0)] == ["neg"]
+
+    def test_query_negative_radius(self):
+        grid = UniformGridIndex(100.0)
+        with pytest.raises(ValueError):
+            grid.query_circle(Point(0.0, 0.0), -1.0)
+
+    def test_occupancy_stats(self):
+        grid = UniformGridIndex(100.0)
+        for i in range(5):
+            grid.update(f"d{i}", Point(10.0 * i, 0.0))
+        stats = grid.occupancy_stats()
+        assert stats["items"] == 5
+        assert stats["max_bucket"] == 5
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    n_devices=st.integers(min_value=0, max_value=120),
+    cell_size=st.sampled_from([120.0, 500.0, 1500.0]),
+    radius=st.floats(min_value=0.0, max_value=4000.0),
+)
+def test_grid_equals_scan_on_random_fleets(seed, n_devices, cell_size, radius):
+    """Indexed devices_within ≡ brute-force scan, order included."""
+    rng = random.Random(seed)
+    registry = _registry(cell_size)
+    for i in range(n_devices):
+        registry.attach_device(
+            _Dot(f"d{i}", Point(rng.uniform(-500.0, 3500.0), rng.uniform(-500.0, 3500.0)))
+        )
+    center = Point(rng.uniform(0.0, 3000.0), rng.uniform(0.0, 3000.0))
+    indexed = registry.devices_within(center, radius)
+    scanned = registry.devices_within_scan(center, radius)
+    assert indexed == scanned
+    assert registry.candidate_count_within(center, radius) >= len(indexed)
+
+
+class TestRegistryIncrementalRefresh:
+    def test_memoised_per_instant_with_clock(self):
+        sim = Simulator(seed=3)
+        registry = _registry(clock=sim)
+        registry.attach_device(_Dot("a", Point(100.0, 100.0)))
+        registry.devices_within(Point(0.0, 0.0), 500.0)
+        before = registry.perf.probe("registry.refresh_positions").calls
+        registry.devices_within(Point(0.0, 0.0), 500.0)
+        registry.devices_within(Point(0.0, 0.0), 900.0)
+        assert registry.perf.probe("registry.refresh_positions").calls == before
+        assert registry.perf.probe("registry.refresh_positions.memo_hit").calls >= 2
+
+    def test_paused_devices_skip_position_reads(self):
+        sim = Simulator(seed=3)
+        registry = _registry(clock=sim)
+        # StaticMobility promises the position never changes, so after
+        # the first observation refreshes touch zero devices.
+        for i in range(10):
+            registry.attach_device(
+                make_device(sim, f"d{i}", position=Point(100.0 * i, 50.0))
+            )
+        sim.clock.advance_to(100.0)
+        registry.refresh_positions()
+        probe = registry.perf.probe("registry.refresh_positions")
+        assert probe.calls == 1
+        assert probe.items == 0
+
+    def test_devices_on_tower_tracks_attachment(self):
+        registry = TowerRegistry(
+            [
+                ENodeB("west", Point(0.0, 0.0)),
+                ENodeB("east", Point(2000.0, 0.0)),
+            ]
+        )
+        walker = _Dot("w", Point(100.0, 0.0))
+        registry.attach_device(walker)
+        assert registry.devices_on_tower("west") == ["w"]
+        assert registry.devices_on_tower("east") == []
+        walker._position = Point(1900.0, 0.0)
+        walker.mobility = StaticMobility(walker._position)
+        registry.refresh_attachments()
+        assert registry.devices_on_tower("west") == []
+        assert registry.devices_on_tower("east") == ["w"]
+        registry.detach_device("w")
+        assert registry.devices_on_tower("east") == []
+        with pytest.raises(KeyError):
+            registry.devices_on_tower("north")
+
+    def test_version_counts_membership_and_topology(self):
+        registry = _registry()
+        v0 = registry.version
+        registry.attach_device(_Dot("a", Point(100.0, 100.0)))
+        assert registry.version > v0
+        v1 = registry.version
+        registry.fail_tower(registry.towers[0].tower_id)
+        assert registry.version > v1
+        v2 = registry.version
+        registry.detach_device("a")
+        assert registry.version > v2
+
+    def test_attachment_matches_nearest_after_mobility(self):
+        """Cell-cached attachment ≡ exact nearest-tower, under walking."""
+        sim = Simulator(seed=11)
+        campus = default_campus()
+        registry = TowerRegistry(
+            grid_towers(campus.width_m, campus.height_m, rows=3, cols=3),
+            clock=sim,
+        )
+        devices = build_population(sim, campus, PopulationConfig(size=30))
+        for device in devices:
+            registry.attach_device(device)
+        for t in (600.0, 1200.0, 2400.0):
+            sim.clock.advance_to(t)
+            registry.refresh_attachments()
+            for device in devices:
+                expected = registry.nearest_tower(device.position()).tower_id
+                assert registry.serving_tower(device.device_id).tower_id == expected
+
+
+def _run_campaign(seed: int, use_spatial_index: bool):
+    from repro.faults import reset_global_ids
+
+    reset_global_ids()
+    sim = Simulator(seed=seed)
+    campus = default_campus()
+    registry = TowerRegistry(
+        grid_towers(campus.width_m, campus.height_m, rows=3, cols=3),
+        use_spatial_index=use_spatial_index,
+    )
+    network = CellularNetwork(sim)
+    devices = build_population(sim, campus, PopulationConfig(size=40))
+    server = SenseAidServer(
+        sim, registry, network, SenseAidConfig(mode=ServerMode.COMPLETE)
+    )
+    for device in devices:
+        SenseAidClient(sim, device, server, network).register()
+    app = CrowdsensingAppServer(server, "equiv")
+    for site in STUDY_SITES[:2]:
+        app.task(
+            SensorType.BAROMETER,
+            campus.site(site).position,
+            area_radius_m=900.0,
+            spatial_density=3,
+            sampling_period_s=300.0,
+            sampling_duration_s=1800.0,
+        )
+    sim.run(until=1900.0)
+    server.shutdown()
+    return server
+
+
+def test_selection_log_bit_identical_with_and_without_index():
+    """The tentpole determinism gate: indexing must not change one bit
+    of the scheduling outcome under the same seed."""
+    indexed = _run_campaign(29, use_spatial_index=True)
+    scanned = _run_campaign(29, use_spatial_index=False)
+    assert indexed.selection_log == scanned.selection_log
+    assert indexed.stats == scanned.stats
+
+
+def test_random_waypoint_position_valid_until():
+    rng = random.Random(5)
+    mobility = RandomWaypointMobility(
+        Point(0.0, 0.0), [Point(500.0, 0.0), Point(0.0, 700.0)], rng
+    )
+    # The itinerary starts with a pause at home: the validity window is
+    # in the future and the position really is constant across it.
+    until = mobility.position_valid_until(0.0)
+    assert until > 0.0
+    p0 = mobility.position_at(0.0)
+    assert mobility.position_at(until * 0.5) == p0
+    # Mid-walk the model promises nothing.
+    t_walk = until + 1.0
+    assert mobility.position_valid_until(t_walk) == t_walk
