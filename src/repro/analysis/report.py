@@ -15,6 +15,7 @@ from typing import List, Optional, Sequence
 
 import repro
 from repro.cli import RUN_ORDER, run_experiment
+from repro.runner import ExperimentEngine
 
 HEADER_RULE = "=" * 72
 
@@ -23,6 +24,7 @@ def generate_report(
     *,
     seed: int = 7,
     experiments: Optional[Sequence[str]] = None,
+    engine: Optional["ExperimentEngine"] = None,
 ) -> str:
     """Run ``experiments`` (default: everything) and build the report."""
     names: List[str] = list(experiments) if experiments is not None else list(RUN_ORDER)
@@ -36,7 +38,7 @@ def generate_report(
     for name in names:
         buffer = io.StringIO()
         with redirect_stdout(buffer):
-            run_experiment(name, seed=seed)
+            run_experiment(name, seed=seed, engine=engine)
         sections.append(f"[{name}]")
         sections.append(buffer.getvalue().rstrip())
         sections.append(HEADER_RULE)
@@ -48,9 +50,10 @@ def write_report(
     *,
     seed: int = 7,
     experiments: Optional[Sequence[str]] = None,
+    engine: Optional[ExperimentEngine] = None,
 ) -> str:
     """Generate and save a report; returns the report text."""
-    report = generate_report(seed=seed, experiments=experiments)
+    report = generate_report(seed=seed, experiments=experiments, engine=engine)
     with open(path, "w", encoding="utf-8") as f:
         f.write(report)
     return report

@@ -1,0 +1,33 @@
+"""Benchmark-regression tooling.
+
+The benchmark book emits ``BENCH_*.json`` scorecards; this package
+compares a fresh run against the committed baselines under
+``benchmarks/baselines/`` with per-metric tolerances — the engine
+behind ``repro bench compare`` and the CI regression gate.
+"""
+
+from repro.bench.compare import (
+    ARTIFACT_SCHEMA_VERSION,
+    Artifact,
+    CompareReport,
+    MetricDelta,
+    TolerancePolicy,
+    compare_dirs,
+    load_artifact,
+    load_artifacts,
+    update_baselines,
+    write_markdown,
+)
+
+__all__ = [
+    "ARTIFACT_SCHEMA_VERSION",
+    "Artifact",
+    "CompareReport",
+    "MetricDelta",
+    "TolerancePolicy",
+    "compare_dirs",
+    "load_artifact",
+    "load_artifacts",
+    "update_baselines",
+    "write_markdown",
+]

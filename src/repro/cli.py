@@ -7,6 +7,9 @@ Usage::
     python -m repro run exp1           # a whole experiment (figs 7-9)
     python -m repro run all            # everything, Table 2 last
     python -m repro run table2 --seed 11
+    python -m repro run exp1 --workers 4 --cache-dir .repro-cache
+    python -m repro bench compare --baseline benchmarks/baselines \\
+        --current benchmarks/artifacts
 """
 
 from __future__ import annotations
@@ -29,6 +32,7 @@ from repro.experiments import (
     weight_sweep,
 )
 from repro.experiments.common import ScenarioConfig
+from repro.runner import ExperimentEngine
 
 #: Experiment name -> (description, needs_scenario, runner).
 _SCENARIO_EXPERIMENTS: Dict[str, tuple] = {
@@ -73,6 +77,10 @@ RUN_ORDER = [
     "diurnal", "robustness", "weights",
 ]
 
+#: Experiments whose ``main`` accepts the parallel execution engine
+#: (the sweeps — everything else is a single short run).
+_ENGINE_AWARE = {"exp1", "exp2", "exp3", "weights", "diurnal", "robustness"}
+
 
 def available_experiments() -> List[str]:
     return RUN_ORDER + sorted(ALIASES)
@@ -90,17 +98,32 @@ def _resolve(name: str) -> str:
     return name
 
 
-def run_experiment(name: str, seed: int = 7) -> str:
-    """Run one experiment by name; returns its printed output."""
+def run_experiment(
+    name: str, seed: int = 7, engine: Optional[ExperimentEngine] = None
+) -> str:
+    """Run one experiment by name; returns its printed output.
+
+    ``engine`` (if given) parallelizes and caches the sweep
+    experiments; the single-run experiments ignore it.
+    """
     resolved = _resolve(name)
+    extra = {"engine": engine} if engine is not None and resolved in _ENGINE_AWARE else {}
     if resolved in _PLAIN_EXPERIMENTS:
         _, runner = _PLAIN_EXPERIMENTS[resolved]
         return runner()
     if resolved in _SEED_EXPERIMENTS:
         _, runner = _SEED_EXPERIMENTS[resolved]
-        return runner(seed)
+        return runner(seed, **extra)
     _, runner = _SCENARIO_EXPERIMENTS[resolved]
-    return runner(ScenarioConfig(seed=seed))
+    return runner(ScenarioConfig(seed=seed), **extra)
+
+
+def _engine_from_args(args: argparse.Namespace) -> Optional[ExperimentEngine]:
+    workers = getattr(args, "workers", 1)
+    cache_dir = getattr(args, "cache_dir", None)
+    if workers == 1 and cache_dir is None:
+        return None
+    return ExperimentEngine(workers=workers, cache_dir=cache_dir)
 
 
 def _cmd_list(_args: argparse.Namespace) -> int:
@@ -120,11 +143,12 @@ def _cmd_list(_args: argparse.Namespace) -> int:
 
 def _cmd_run(args: argparse.Namespace) -> int:
     targets = RUN_ORDER if args.experiment == "all" else [args.experiment]
+    engine = _engine_from_args(args)
     for i, target in enumerate(targets):
         if i:
             print("\n" + "=" * 72 + "\n")
         try:
-            run_experiment(target, seed=args.seed)
+            run_experiment(target, seed=args.seed, engine=engine)
         except KeyError:
             print(
                 f"unknown experiment {target!r}; "
@@ -140,7 +164,10 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
     try:
         write_report(
-            args.output, seed=args.seed, experiments=args.experiments
+            args.output,
+            seed=args.seed,
+            experiments=args.experiments,
+            engine=_engine_from_args(args),
         )
     except KeyError as exc:
         print(
@@ -166,6 +193,7 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument(
         "--seed", type=int, default=7, help="scenario master seed (default 7)"
     )
+    _add_engine_arguments(run_parser)
     run_parser.set_defaults(func=_cmd_run)
     report_parser = subparsers.add_parser(
         "report", help="run experiments and save a combined report"
@@ -182,8 +210,93 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="experiment ids to include (default: all)",
     )
+    _add_engine_arguments(report_parser)
     report_parser.set_defaults(func=_cmd_report)
+
+    bench_parser = subparsers.add_parser(
+        "bench", help="benchmark artifact tooling (regression gate)"
+    )
+    bench_sub = bench_parser.add_subparsers(dest="bench_command", required=True)
+    compare_parser = bench_sub.add_parser(
+        "compare",
+        help="compare BENCH_*.json artifacts against committed baselines",
+    )
+    compare_parser.add_argument(
+        "--baseline",
+        default="benchmarks/baselines",
+        help="directory of committed baseline artifacts",
+    )
+    compare_parser.add_argument(
+        "--current",
+        default="benchmarks/artifacts",
+        help="directory of freshly generated artifacts",
+    )
+    compare_parser.add_argument(
+        "--tolerances",
+        default=None,
+        help="tolerance policy JSON (default: <baseline>/tolerances.json)",
+    )
+    compare_parser.add_argument(
+        "--markdown",
+        default=None,
+        help="also write the delta table as markdown to this file "
+        "('-' for stdout, 'GITHUB_STEP_SUMMARY' for the CI job summary)",
+    )
+    compare_parser.add_argument(
+        "--strict-missing",
+        action="store_true",
+        help="fail when a baseline artifact was not produced by the current run",
+    )
+    compare_parser.set_defaults(func=_cmd_bench_compare)
+    update_parser = bench_sub.add_parser(
+        "update-baselines",
+        help="copy current BENCH_*.json artifacts over the committed baselines",
+    )
+    update_parser.add_argument("--baseline", default="benchmarks/baselines")
+    update_parser.add_argument("--current", default="benchmarks/artifacts")
+    update_parser.set_defaults(func=_cmd_bench_update)
     return parser
+
+
+def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for sweep experiments (default 1 = serial)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="content-addressed result cache; re-runs skip computed points",
+    )
+
+
+def _cmd_bench_compare(args: argparse.Namespace) -> int:
+    from repro.bench.compare import compare_dirs, write_markdown
+
+    report = compare_dirs(
+        baseline_dir=args.baseline,
+        current_dir=args.current,
+        tolerances_path=args.tolerances,
+        strict_missing=args.strict_missing,
+    )
+    print(report.summary())
+    if args.markdown:
+        write_markdown(report, args.markdown)
+    return 0 if report.passed else 1
+
+
+def _cmd_bench_update(args: argparse.Namespace) -> int:
+    from repro.bench.compare import update_baselines
+
+    copied = update_baselines(current_dir=args.current, baseline_dir=args.baseline)
+    if not copied:
+        print(f"no BENCH_*.json artifacts found in {args.current}", file=sys.stderr)
+        return 2
+    for name in copied:
+        print(f"updated {name}")
+    return 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:

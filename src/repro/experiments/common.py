@@ -129,6 +129,31 @@ class ArmResult:
             return 0.0
         return self.energy.total_j / len(active)
 
+    def detached(self) -> "ArmResult":
+        """A plain-data copy safe to pickle across process boundaries.
+
+        The live simulation world (devices, server, clients, baseline
+        frameworks) holds closures and cross-references that cannot —
+        and should not — travel between worker processes; a detached
+        result keeps every derived metric (energy summary, selection
+        log, per-request counts) and summarises the world objects that
+        downstream analysis actually reads into plain ``extras`` keys.
+        """
+        extras: Dict[str, object] = {}
+        server = self.extras.get("server")
+        if server is not None:
+            extras["selections_per_device"] = dict(server.selections_per_device())
+        return ArmResult(
+            name=self.name,
+            energy=self.energy,
+            data_points=self.data_points,
+            participants_per_request=dict(self.participants_per_request),
+            devices=[],
+            selection_log=list(self.selection_log),
+            qualified_per_request=dict(self.qualified_per_request),
+            extras=extras,
+        )
+
 
 def _build_world(config: ScenarioConfig):
     """Simulator + campus + towers + network + population."""
@@ -240,6 +265,36 @@ def run_coverage_arm(
         participants_per_request=dict(framework.stats.participants_per_request),
         devices=devices,
         extras={"framework": framework},
+    )
+
+
+def run_arm(
+    kind: str,
+    config: ScenarioConfig,
+    tasks: Sequence[TaskParams],
+    **kwargs,
+) -> ArmResult:
+    """Run one framework arm by name.
+
+    A single module-level entry point the parallel engine
+    (:class:`repro.runner.ExperimentEngine`) can pickle into worker
+    processes; ``kind`` is one of ``periodic``, ``pcs``, ``coverage``,
+    ``sense-aid-basic``, or ``sense-aid-complete``, and extra keyword
+    arguments flow to the underlying arm runner.
+    """
+    if kind == "periodic":
+        return run_periodic_arm(config, tasks, **kwargs)
+    if kind == "pcs":
+        return run_pcs_arm(config, tasks, **kwargs)
+    if kind == "coverage":
+        return run_coverage_arm(config, tasks, **kwargs)
+    if kind == "sense-aid-basic":
+        return run_sense_aid_arm(config, tasks, ServerMode.BASIC, **kwargs)
+    if kind == "sense-aid-complete":
+        return run_sense_aid_arm(config, tasks, ServerMode.COMPLETE, **kwargs)
+    raise ValueError(
+        f"unknown arm kind {kind!r}; expected periodic, pcs, coverage, "
+        "sense-aid-basic, or sense-aid-complete"
     )
 
 

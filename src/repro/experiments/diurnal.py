@@ -30,6 +30,7 @@ from repro.devices.sensors import SensorType
 from repro.devices.traffic import diurnal_modulator
 from repro.environment.campus import CS_DEPARTMENT, default_campus
 from repro.environment.population import PopulationConfig, build_population
+from repro.runner import ExperimentEngine
 from repro.serverlib import CrowdsensingAppServer
 from repro.sim.engine import Simulator
 
@@ -62,7 +63,7 @@ def _window_energy(samples: List[float], window: int) -> float:
     return end - start
 
 
-def _run_framework(seed: int, use_sense_aid: bool) -> List[float]:
+def _run_framework(seed: int, use_sense_aid: bool) -> List[float]:  # noqa: C901
     """Run 24 h; return cumulative crowdsensing energy at window edges."""
     sim = Simulator(seed=seed)
     campus = default_campus()
@@ -116,9 +117,18 @@ def _run_framework(seed: int, use_sense_aid: bool) -> List[float]:
     return cumulative
 
 
-def run(seed: int = 7) -> List[WindowRow]:
-    sense_aid = _run_framework(seed, use_sense_aid=True)
-    periodic = _run_framework(seed, use_sense_aid=False)
+def run(
+    seed: int = 7, *, engine: Optional["ExperimentEngine"] = None
+) -> List[WindowRow]:
+    if engine is None:
+        engine = ExperimentEngine()
+    sense_aid, periodic = engine.run_points(
+        _run_framework,
+        [
+            {"seed": seed, "use_sense_aid": True},
+            {"seed": seed, "use_sense_aid": False},
+        ],
+    )
     rows = []
     for w in range(int(DAY_S / WINDOW_S)):
         label = f"{4 * w:02d}:00-{4 * w + 4:02d}:00"
@@ -132,8 +142,8 @@ def run(seed: int = 7) -> List[WindowRow]:
     return rows
 
 
-def main(seed: int = 7) -> str:
-    rows = run(seed)
+def main(seed: int = 7, engine: Optional[ExperimentEngine] = None) -> str:
+    rows = run(seed, engine=engine)
     table = format_table(
         ["window", "Sense-Aid (J)", "Periodic (J)", "saving"],
         [

@@ -35,6 +35,7 @@ from repro.experiments.common import (
     run_periodic_arm,
     run_sense_aid_arm,
 )
+from repro.runner import ExperimentEngine
 
 RADII_M = (100.0, 200.0, 300.0, 400.0, 500.0, 1000.0)
 TEST_DURATION_S = 90 * 60.0
@@ -100,35 +101,44 @@ def _task(radius_m: float) -> TaskParams:
     )
 
 
+def _radius_point(config: ScenarioConfig, radius_m: float) -> RadiusPoint:
+    """One sweep point: all four frameworks at one radius (picklable)."""
+    tasks = [_task(radius_m)]
+    periodic = run_periodic_arm(config, tasks)
+    pcs = run_pcs_arm(config, tasks)
+    basic = run_sense_aid_arm(config, tasks, ServerMode.BASIC)
+    complete = run_sense_aid_arm(config, tasks, ServerMode.COMPLETE)
+    return RadiusPoint(
+        radius_m=radius_m,
+        qualified_mean=basic.mean_qualified(),
+        periodic=periodic.detached(),
+        pcs=pcs.detached(),
+        basic=basic.detached(),
+        complete=complete.detached(),
+    )
+
+
 def run(
     config: Optional[ScenarioConfig] = None,
     radii_m: Sequence[float] = RADII_M,
+    *,
+    engine: Optional[ExperimentEngine] = None,
 ) -> Experiment1Result:
     """Run the full radius sweep (all four frameworks per radius)."""
     if config is None:
         config = ScenarioConfig()
-    points = []
+    if engine is None:
+        engine = ExperimentEngine()
+    points: List[RadiusPoint] = engine.run_points(
+        _radius_point,
+        [{"config": config, "radius_m": radius} for radius in radii_m],
+    )
     fairness_log: List[SelectionEvent] = []
     fairness_counts: Dict[str, int] = {}
-    for radius in radii_m:
-        tasks = [_task(radius)]
-        periodic = run_periodic_arm(config, tasks)
-        pcs = run_pcs_arm(config, tasks)
-        basic = run_sense_aid_arm(config, tasks, ServerMode.BASIC)
-        complete = run_sense_aid_arm(config, tasks, ServerMode.COMPLETE)
-        points.append(
-            RadiusPoint(
-                radius_m=radius,
-                qualified_mean=basic.mean_qualified(),
-                periodic=periodic,
-                pcs=pcs,
-                basic=basic,
-                complete=complete,
-            )
-        )
-        if radius == max(radii_m):
-            fairness_log = basic.selection_log
-            fairness_counts = basic.extras["server"].selections_per_device()
+    for point in points:
+        if point.radius_m == max(radii_m):
+            fairness_log = point.basic.selection_log
+            fairness_counts = point.basic.extras["selections_per_device"]
     return Experiment1Result(
         points=points,
         fairness_log=fairness_log,
@@ -136,8 +146,11 @@ def run(
     )
 
 
-def main(config: Optional[ScenarioConfig] = None) -> str:
-    result = run(config)
+def main(
+    config: Optional[ScenarioConfig] = None,
+    engine: Optional[ExperimentEngine] = None,
+) -> str:
+    result = run(config, engine=engine)
     lines = []
     lines.append(
         format_table(

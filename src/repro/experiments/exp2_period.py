@@ -32,6 +32,7 @@ from repro.experiments.common import (
     run_periodic_arm,
     run_sense_aid_arm,
 )
+from repro.runner import ExperimentEngine
 
 PERIODS_S = (60.0, 300.0, 600.0)
 TEST_DURATION_S = 2 * 3600.0
@@ -118,29 +119,40 @@ def _task(period_s: float) -> TaskParams:
     )
 
 
+def _period_point(config: ScenarioConfig, period_s: float) -> PeriodPoint:
+    """One sweep point: all four frameworks at one period (picklable)."""
+    tasks = [_task(period_s)]
+    return PeriodPoint(
+        period_s=period_s,
+        periodic=run_periodic_arm(config, tasks).detached(),
+        pcs=run_pcs_arm(config, tasks).detached(),
+        basic=run_sense_aid_arm(config, tasks, ServerMode.BASIC).detached(),
+        complete=run_sense_aid_arm(config, tasks, ServerMode.COMPLETE).detached(),
+    )
+
+
 def run(
     config: Optional[ScenarioConfig] = None,
     periods_s: Sequence[float] = PERIODS_S,
+    *,
+    engine: Optional[ExperimentEngine] = None,
 ) -> Experiment2Result:
     if config is None:
         config = ScenarioConfig()
-    points = []
-    for period in periods_s:
-        tasks = [_task(period)]
-        points.append(
-            PeriodPoint(
-                period_s=period,
-                periodic=run_periodic_arm(config, tasks),
-                pcs=run_pcs_arm(config, tasks),
-                basic=run_sense_aid_arm(config, tasks, ServerMode.BASIC),
-                complete=run_sense_aid_arm(config, tasks, ServerMode.COMPLETE),
-            )
-        )
+    if engine is None:
+        engine = ExperimentEngine()
+    points = engine.run_points(
+        _period_point,
+        [{"config": config, "period_s": period} for period in periods_s],
+    )
     return Experiment2Result(points=points)
 
 
-def main(config: Optional[ScenarioConfig] = None) -> str:
-    result = run(config)
+def main(
+    config: Optional[ScenarioConfig] = None,
+    engine: Optional[ExperimentEngine] = None,
+) -> str:
+    result = run(config, engine=engine)
     lines = []
     lines.append(
         format_table(

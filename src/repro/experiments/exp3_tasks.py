@@ -34,6 +34,7 @@ from repro.experiments.common import (
     run_periodic_arm,
     run_sense_aid_arm,
 )
+from repro.runner import ExperimentEngine
 
 TASK_COUNTS = (3, 5, 10, 15)
 TEST_DURATION_S = 90 * 60.0
@@ -119,29 +120,40 @@ def _tasks(count: int) -> List[TaskParams]:
     ]
 
 
+def _count_point(config: ScenarioConfig, task_count: int) -> TaskCountPoint:
+    """One sweep point: all four frameworks at one task count."""
+    tasks = _tasks(task_count)
+    return TaskCountPoint(
+        task_count=task_count,
+        periodic=run_periodic_arm(config, tasks).detached(),
+        pcs=run_pcs_arm(config, tasks).detached(),
+        basic=run_sense_aid_arm(config, tasks, ServerMode.BASIC).detached(),
+        complete=run_sense_aid_arm(config, tasks, ServerMode.COMPLETE).detached(),
+    )
+
+
 def run(
     config: Optional[ScenarioConfig] = None,
     task_counts: Sequence[int] = TASK_COUNTS,
+    *,
+    engine: Optional[ExperimentEngine] = None,
 ) -> Experiment3Result:
     if config is None:
         config = ScenarioConfig()
-    points = []
-    for count in task_counts:
-        tasks = _tasks(count)
-        points.append(
-            TaskCountPoint(
-                task_count=count,
-                periodic=run_periodic_arm(config, tasks),
-                pcs=run_pcs_arm(config, tasks),
-                basic=run_sense_aid_arm(config, tasks, ServerMode.BASIC),
-                complete=run_sense_aid_arm(config, tasks, ServerMode.COMPLETE),
-            )
-        )
+    if engine is None:
+        engine = ExperimentEngine()
+    points = engine.run_points(
+        _count_point,
+        [{"config": config, "task_count": count} for count in task_counts],
+    )
     return Experiment3Result(points=points)
 
 
-def main(config: Optional[ScenarioConfig] = None) -> str:
-    result = run(config)
+def main(
+    config: Optional[ScenarioConfig] = None,
+    engine: Optional[ExperimentEngine] = None,
+) -> str:
+    result = run(config, engine=engine)
     lines = []
     lines.append(
         format_table(

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.analysis.energy import savings_pct
 from repro.analysis.tables import format_table
@@ -24,6 +24,7 @@ from repro.experiments.common import (
     run_periodic_arm,
     run_sense_aid_arm,
 )
+from repro.runner import ExperimentEngine
 
 DEFAULT_SEEDS = tuple(range(7, 17))
 
@@ -54,25 +55,36 @@ class RobustnessStats:
     samples: int
 
 
-def run(seeds: Sequence[int] = DEFAULT_SEEDS) -> List[RobustnessStats]:
+def _seed_savings(seed: int) -> Dict[str, float]:
+    """All four savings comparisons in one seeded world (picklable)."""
+    config = ScenarioConfig(seed=seed)
+    tasks = [TASK]
+    periodic = run_periodic_arm(config, tasks).energy.total_j
+    pcs = run_pcs_arm(config, tasks).energy.total_j
+    basic = run_sense_aid_arm(config, tasks, ServerMode.BASIC).energy.total_j
+    complete = run_sense_aid_arm(config, tasks, ServerMode.COMPLETE).energy.total_j
+    return {
+        "basic_vs_periodic": savings_pct(basic, periodic),
+        "complete_vs_periodic": savings_pct(complete, periodic),
+        "basic_vs_pcs": savings_pct(basic, pcs),
+        "complete_vs_pcs": savings_pct(complete, pcs),
+    }
+
+
+def run(
+    seeds: Sequence[int] = DEFAULT_SEEDS,
+    *,
+    engine: Optional[ExperimentEngine] = None,
+) -> List[RobustnessStats]:
     if not seeds:
         raise ValueError("need at least one seed")
+    if engine is None:
+        engine = ExperimentEngine()
+    worlds = engine.run_points(_seed_savings, [{"seed": seed} for seed in seeds])
     per_comparison: Dict[str, List[float]] = {key: [] for key in COMPARISONS}
-    for seed in seeds:
-        config = ScenarioConfig(seed=seed)
-        tasks = [TASK]
-        periodic = run_periodic_arm(config, tasks).energy.total_j
-        pcs = run_pcs_arm(config, tasks).energy.total_j
-        basic = run_sense_aid_arm(config, tasks, ServerMode.BASIC).energy.total_j
-        complete = run_sense_aid_arm(
-            config, tasks, ServerMode.COMPLETE
-        ).energy.total_j
-        per_comparison["basic_vs_periodic"].append(savings_pct(basic, periodic))
-        per_comparison["complete_vs_periodic"].append(
-            savings_pct(complete, periodic)
-        )
-        per_comparison["basic_vs_pcs"].append(savings_pct(basic, pcs))
-        per_comparison["complete_vs_pcs"].append(savings_pct(complete, pcs))
+    for world in worlds:
+        for key in COMPARISONS:
+            per_comparison[key].append(world[key])
     results = []
     for key in COMPARISONS:
         values = per_comparison[key]
@@ -91,9 +103,9 @@ def run(seeds: Sequence[int] = DEFAULT_SEEDS) -> List[RobustnessStats]:
     return results
 
 
-def main(seed: int = 7) -> str:
+def main(seed: int = 7, engine: Optional[ExperimentEngine] = None) -> str:
     """Seed argument anchors the range: seeds ``seed .. seed+9``."""
-    stats = run(seeds=tuple(range(seed, seed + 10)))
+    stats = run(seeds=tuple(range(seed, seed + 10)), engine=engine)
     table = format_table(
         ["comparison", "mean", "std", "min", "max", "worlds"],
         [

@@ -17,6 +17,7 @@ from repro.analysis.fairness import jain_index
 from repro.analysis.tables import format_table
 from repro.core.config import SelectorWeights, ServerMode
 from repro.experiments.common import ScenarioConfig, TaskParams, run_sense_aid_arm
+from repro.runner import ExperimentEngine
 
 TASK = TaskParams(
     area_radius_m=1000.0,
@@ -47,11 +48,32 @@ class WeightPoint:
     data_points: int
 
 
+def _world_metrics(
+    config: ScenarioConfig, weights: SelectorWeights, offset: int
+) -> Tuple[float, float, int, int, int]:
+    """One (weight setting, world) cell of the sweep (picklable)."""
+    arm = run_sense_aid_arm(
+        config.with_seed(config.seed + offset),
+        [TASK],
+        ServerMode.COMPLETE,
+        weights=weights,
+    )
+    counts = arm.extras["server"].selections_per_device()
+    return (
+        arm.energy.total_j,
+        jain_index(counts.values()),
+        max(counts.values()) if counts else 0,
+        len(counts),
+        arm.data_points,
+    )
+
+
 def run(
     config: Optional[ScenarioConfig] = None,
     sweep: Sequence[Tuple[str, SelectorWeights]] = DEFAULT_SWEEP,
     *,
     worlds: int = 10,
+    engine: Optional[ExperimentEngine] = None,
 ) -> List[WeightPoint]:
     """Average each weight setting over ``worlds`` seeded worlds —
     single-world energies swing by one forced upload (~13 J)."""
@@ -59,23 +81,21 @@ def run(
         raise ValueError("worlds must be positive")
     if config is None:
         config = ScenarioConfig()
+    if engine is None:
+        engine = ExperimentEngine()
+    cells = engine.run_points(
+        _world_metrics,
+        [
+            {"config": config, "weights": weights, "offset": offset}
+            for _, weights in sweep
+            for offset in range(worlds)
+        ],
+    )
     points = []
-    for label, weights in sweep:
-        energies, jains, max_sels, used, data = [], [], [], [], []
-        for offset in range(worlds):
-            arm = run_sense_aid_arm(
-                config.with_seed(config.seed + offset),
-                [TASK],
-                ServerMode.COMPLETE,
-                weights=weights,
-            )
-            counts = arm.extras["server"].selections_per_device()
-            energies.append(arm.energy.total_j)
-            jains.append(jain_index(counts.values()))
-            max_sels.append(max(counts.values()) if counts else 0)
-            used.append(len(counts))
-            data.append(arm.data_points)
-        n = float(worlds)
+    n = float(worlds)
+    for i, (label, _) in enumerate(sweep):
+        rows = cells[i * worlds : (i + 1) * worlds]
+        energies, jains, max_sels, used, data = zip(*rows)
         points.append(
             WeightPoint(
                 label=label,
@@ -89,8 +109,11 @@ def run(
     return points
 
 
-def main(config: Optional[ScenarioConfig] = None) -> str:
-    points = run(config)
+def main(
+    config: Optional[ScenarioConfig] = None,
+    engine: Optional[ExperimentEngine] = None,
+) -> str:
+    points = run(config, engine=engine)
     table = format_table(
         ["weights", "energy (J)", "Jain", "max sel", "devices", "data"],
         [
