@@ -1,0 +1,341 @@
+"""Benchmark: kill-a-shard drill for the sharded control plane.
+
+Runs one crowdsensing campaign across a 3-shard fleet and hard-kills
+the busiest shard's incumbent mid-campaign (via the fault plan), then
+checks the self-healing contract end to end:
+
+1. the phi-accrual detector notices the silence and a standby takes
+   over the ring range within a bounded number of heartbeat intervals;
+2. zero acknowledged uploads are lost — after anti-entropy repair the
+   cross-shard diff is empty and every upload a client holds an ack
+   for is burned at its current home shard;
+3. selection re-converges: the successor's post-repair selection
+   events are bit-identical to the same instants of a no-crash control
+   run (WAL replay restored the fairness counters exactly), and the
+   untouched shards never diverge at all;
+4. a split-brain variant (partition instead of crash) produces real
+   divergence through the fenced zombie, and repair reconciles it;
+5. the whole drill is bit-identical across two same-seed runs.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once, write_artifact
+from repro.cellular.network import CellularNetwork
+from repro.clientlib import SenseAidClient
+from repro.core.config import (
+    RetryPolicy,
+    SelectorWeights,
+    SenseAidConfig,
+    ServerMode,
+)
+from repro.core.sharding import ShardSpec, ShardedSenseAid
+from repro.core.tasks import TaskSpec
+from repro.devices.device import SimDevice
+from repro.devices.sensors import SensorType
+from repro.environment.geometry import Point
+from repro.environment.mobility import StaticMobility
+from repro.faults import FaultInjector, FaultPlan, reset_global_ids
+from repro.sim.engine import Simulator
+from repro.sim.simlog import structured_log
+
+SEED = 17
+N_DEVICES = 12
+CENTER = Point(1500.0, 500.0)
+SITES = (
+    ("s1", Point(500.0, 500.0)),
+    ("s2", Point(1500.0, 500.0)),
+    ("s3", Point(2500.0, 500.0)),
+)
+HEARTBEAT_S = 5.0
+PHI_THRESHOLD = 8.0
+#: Crash instant: mid-way through a sampling interval (instants are at
+#: multiples of 300 s), so failover must complete before the next one.
+CRASH_AT = 1040.0
+END_TIME = 3000.0
+
+RETRY = RetryPolicy(
+    max_attempts=6,
+    ack_timeout_s=20.0,
+    backoff_base_s=15.0,
+    backoff_multiplier=2.0,
+    jitter_fraction=0.0,
+    tail_wait_max_s=30.0,
+)
+
+#: Fairness-dominant weights: selection depends only on the durable
+#: times-selected counters, so exact WAL replay implies exact
+#: re-convergence of the selector.
+FAIR = SelectorWeights(alpha=0.0, beta=1.0, gamma=0.0, phi=0.0)
+
+
+def _selection_events(server, *, since=0.0, until=float("inf")):
+    """Selection decisions as comparable tuples."""
+    return [
+        (round(e.time, 6), e.request_id, tuple(e.selected))
+        for e in server.selection_log
+        if since <= e.time < until
+    ]
+
+
+def _build(wal_root: str, seed: int):
+    reset_global_ids()
+    sim = Simulator(seed=seed)
+    network = CellularNetwork(sim)
+    fleet = ShardedSenseAid(
+        sim,
+        network,
+        [ShardSpec(sid, site) for sid, site in SITES],
+        SenseAidConfig(mode=ServerMode.COMPLETE, weights=FAIR),
+        wal_root=wal_root,
+        heartbeat_period_s=HEARTBEAT_S,
+        phi_threshold=PHI_THRESHOLD,
+        min_std_s=HEARTBEAT_S / 10.0,
+        redirect_latency_s=0.05,
+    )
+    clients = {}
+    for i in range(N_DEVICES):
+        device_id = f"d{i:02d}"
+        device = SimDevice(sim, device_id, mobility=StaticMobility(CENTER))
+        client = SenseAidClient(
+            sim,
+            device,
+            fleet.instance(fleet.shard_ids()[0]),
+            network,
+            retry_policy=RETRY,
+        )
+        fleet.register(client)
+        clients[device_id] = client
+    data = []
+    handle = fleet.submit_task(
+        TaskSpec(
+            sensor_type=SensorType.BAROMETER,
+            center=CENTER,
+            area_radius_m=2000.0,
+            spatial_density=3,
+            sampling_period_s=300.0,
+            start_time=0.0,
+            end_time=END_TIME,
+        ),
+        data.append,
+    )
+    return sim, network, fleet, clients, data, handle
+
+
+def _zero_loss_audit(fleet, clients):
+    """(total acked uploads, how many are missing at their owner)."""
+    acked = 0
+    lost = 0
+    for device_id, client in clients.items():
+        owner = fleet.instance(fleet.home_shard(device_id))
+        for upload_id in client.acked_uploads:
+            acked += 1
+            if upload_id not in owner._seen_upload_ids:
+                lost += 1
+    return acked, lost
+
+
+def run_control(wal_root: str, seed: int = SEED):
+    """The no-fault arm: same fleet, same campaign, nobody dies."""
+    sim, network, fleet, clients, data, handle = _build(wal_root, seed)
+    sim.run(until=END_TIME + 600.0)
+    selections = {
+        sid: _selection_events(fleet.instance(sid)) for sid in fleet.shard_ids()
+    }
+    result = {
+        "data_points": len(data),
+        "degraded_points": handle.degraded_points,
+        "failovers": fleet.failovers,
+        "selections": selections,
+        "signature": structured_log(sim).signature(),
+    }
+    fleet.shutdown()
+    return result
+
+
+def run_crash_drill(wal_root: str, seed: int = SEED):
+    """The chaos arm: the busiest shard is hard-killed at CRASH_AT."""
+    sim, network, fleet, clients, data, handle = _build(wal_root, seed)
+    victim = max(handle.subtasks, key=lambda sid: handle.allocations[sid])
+    plan = FaultPlan().shard_crash(CRASH_AT, victim)
+    injector = FaultInjector(sim, network, fleet=fleet, plan=plan)
+    sim.run(until=CRASH_AT)
+    old = fleet.instance(victim)
+    pre_crash = {
+        sid: _selection_events(fleet.instance(sid), until=CRASH_AT)
+        for sid in fleet.shard_ids()
+    }
+    sim.run(until=END_TIME + 600.0)
+    record = fleet.failover_log[0] if fleet.failover_log else None
+    diff_before_repair = fleet.anti_entropy_diff()
+    repair = fleet.repair()
+    acked, lost = _zero_loss_audit(fleet, clients)
+    post_repair = {
+        sid: _selection_events(fleet.instance(sid), since=record.completed_at)
+        for sid in fleet.shard_ids()
+    }
+    result = {
+        "victim": victim,
+        "failovers": fleet.failovers,
+        "detection_intervals": record.detection_intervals if record else None,
+        "recovery_s": (record.completed_at - CRASH_AT) if record else None,
+        "old_epoch": record.old_epoch if record else None,
+        "new_epoch": record.new_epoch if record else None,
+        "data_points": len(data),
+        "degraded_points": handle.degraded_points,
+        "shard_redirects": sum(
+            c.stats.shard_redirects for c in clients.values()
+        ),
+        "stale_assignments_dropped": sum(
+            c.stats.stale_assignments_dropped for c in clients.values()
+        ),
+        "acked_uploads": acked,
+        "lost_acked_uploads": lost,
+        "divergent_keys_before_repair": sum(
+            len(keys) for keys in diff_before_repair.values()
+        ),
+        "anti_entropy_clean": repair["clean"],
+        "repaired_keys": repair["repaired_keys"],
+        "pre_crash_selections": pre_crash,
+        "post_repair_selections": post_repair,
+        "old_incumbent_epoch": old.epoch,
+        "shard_crashes_injected": injector.stats.shard_crashes,
+        "signature": structured_log(sim).signature(),
+    }
+    fleet.shutdown()
+    return result
+
+
+def run_partition_drill(wal_root: str, seed: int = SEED):
+    """Split brain: the busiest shard is partitioned, not killed, and
+    clients linger on the fenced zombie long enough to diverge."""
+    sim, network, fleet, clients, data, handle = _build(wal_root, seed)
+    fleet._redirect_latency = 310.0  # one full sampling interval
+    victim = max(handle.subtasks, key=lambda sid: handle.allocations[sid])
+    plan = FaultPlan().shard_partition(
+        CRASH_AT, victim, heal_after=600.0
+    )
+    injector = FaultInjector(sim, network, fleet=fleet, plan=plan)
+    sim.run(until=END_TIME + 600.0)
+    diff_before = fleet.anti_entropy_diff()
+    repair = fleet.repair()
+    acked, lost = _zero_loss_audit(fleet, clients)
+    result = {
+        "victim": victim,
+        "failovers": fleet.failovers,
+        "was_partitioned": fleet.failover_log[0].was_partitioned,
+        "writes_fenced": fleet.writes_fenced(),
+        "divergent_keys_before_repair": sum(
+            len(keys) for keys in diff_before.values()
+        ),
+        "repaired_keys": repair["repaired_keys"],
+        "anti_entropy_clean": repair["clean"],
+        "acked_uploads": acked,
+        "lost_acked_uploads": lost,
+        "data_points": len(data),
+        "stats": {
+            "shard_partitions": injector.stats.shard_partitions,
+            "shard_heals": injector.stats.shard_heals,
+        },
+    }
+    fleet.shutdown()
+    return result
+
+
+def _match(a, b):
+    """Per-shard selection streams compared for bit-identity."""
+    return {sid: a[sid] == b[sid] for sid in a}
+
+
+def run_suite(wal_root: str):
+    control = run_control(f"{wal_root}/control")
+    crash = run_crash_drill(f"{wal_root}/crash")
+    replay = run_crash_drill(f"{wal_root}/replay")
+    partition = run_partition_drill(f"{wal_root}/partition")
+
+    victim = crash["victim"]
+    control_pre = {
+        sid: [e for e in events if e[0] < CRASH_AT]
+        for sid, events in control["selections"].items()
+    }
+    completed_at = CRASH_AT + crash["recovery_s"]
+    control_post = {
+        sid: [e for e in events if e[0] >= completed_at]
+        for sid, events in control["selections"].items()
+    }
+    convergence = {
+        "pre_crash": _match(crash["pre_crash_selections"], control_pre),
+        "post_repair": _match(crash["post_repair_selections"], control_post),
+    }
+    return {
+        "scenario": {
+            "shards": len(SITES),
+            "devices": N_DEVICES,
+            "heartbeat_s": HEARTBEAT_S,
+            "phi_threshold": PHI_THRESHOLD,
+            "crash_at": CRASH_AT,
+            "seed": SEED,
+        },
+        "control": {
+            k: control[k]
+            for k in ("data_points", "degraded_points", "failovers")
+        },
+        "crash": {
+            k: v
+            for k, v in crash.items()
+            if k not in ("pre_crash_selections", "post_repair_selections")
+        },
+        "partition": partition,
+        "convergence": convergence,
+        "replay_identical": replay == crash,
+        "gates": {
+            "max_detection_intervals": 3.0,
+            "max_recovery_s": 3.0 * HEARTBEAT_S,
+            "zero_lost_acked_uploads": 0,
+        },
+    }
+
+
+def test_bench_failover(benchmark, tmp_path):
+    results = run_once(benchmark, run_suite, str(tmp_path))
+    benchmark.extra_info.update(results)
+    write_artifact("BENCH_failover", results)
+
+    crash, partition = results["crash"], results["partition"]
+    gates = results["gates"]
+
+    # 1. Detection and takeover within the bounded window.
+    assert crash["failovers"] == 1
+    assert crash["detection_intervals"] <= gates["max_detection_intervals"]
+    assert crash["recovery_s"] <= gates["max_recovery_s"]
+    assert crash["new_epoch"] == crash["old_epoch"] + 1
+    assert crash["shard_redirects"] > 0
+
+    # 2. Zero acknowledged uploads lost, in both drill variants.
+    assert crash["acked_uploads"] > 0
+    assert crash["lost_acked_uploads"] == gates["zero_lost_acked_uploads"]
+    assert crash["anti_entropy_clean"]
+    assert partition["lost_acked_uploads"] == 0
+    assert partition["anti_entropy_clean"]
+
+    # 3. Selection re-convergence: bit-identical to the no-crash
+    #    control before the crash and after the repair, on every shard
+    #    (the victim via WAL replay, the others by never diverging).
+    assert all(results["convergence"]["pre_crash"].values())
+    assert all(results["convergence"]["post_repair"].values())
+
+    # 4. The split brain really happened and was really reconciled:
+    #    the fenced zombie absorbed writes and produced divergence the
+    #    repair then erased.
+    assert partition["was_partitioned"]
+    assert partition["writes_fenced"] > 0
+    assert partition["divergent_keys_before_repair"] > 0
+    assert partition["repaired_keys"] > 0
+
+    # 5. The drill is deterministic: same seed, same fault plan, same
+    #    scorecard (different WAL directory, identical behaviour).
+    assert results["replay_identical"]
+
+    # The campaign survived: the degraded window was bounded and the
+    #    fleet still collected the bulk of the control run's data.
+    assert crash["data_points"] >= 0.8 * results["control"]["data_points"]

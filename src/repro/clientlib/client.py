@@ -36,7 +36,7 @@ Hardening against the chaos layer (see :mod:`repro.faults`):
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Set
 
 from repro.cellular.network import CellularNetwork
 from repro.cellular.packets import sensor_data_message
@@ -95,6 +95,7 @@ class ClientStats:
     uploads_shed: int = 0
     stale_epoch_resends: int = 0
     registrations_deferred: int = 0
+    shard_redirects: int = 0
 
     @property
     def uploads_total(self) -> int:
@@ -125,6 +126,15 @@ class SenseAidClient:
         self.retry_policy = retry_policy
         self.degraded_policy = degraded_policy
         self._inflight: Dict[str, _UploadState] = {}
+        #: Upload ids the server has *accepted* (ground truth for
+        #: anti-entropy reconciliation after partitions/failovers).
+        #: Only tracked when a retry policy is active — legacy
+        #: fire-and-forget uploads never see their ack.
+        self.acked_uploads: Set[str] = set()
+        #: Installed by a sharded fleet: returns the current incumbent
+        #: serving this device's ring range, so retries can follow a
+        #: failover instead of hammering a deposed instance.
+        self._home_resolver: Optional[Callable[[], Optional[SenseAidServer]]] = None
         self._degraded = False
         self._degraded_timer: Optional[Event] = None
         self._last_sensor_type: Optional[SensorType] = None
@@ -214,7 +224,11 @@ class SenseAidClient:
             self._cancel_force_timer(pending)
         self._pending.clear()
         self._abandon_inflight()
-        self._server.deregister_device(self._device.device_id)
+        # The server may have lost our record independently (fault
+        # injection, failover to an instance that never knew us); a
+        # goodbye to someone who already forgot us is still a goodbye.
+        if self._device.device_id in self._server.devices:
+            self._server.deregister_device(self._device.device_id)
         self._registered = False
 
     def bind_server(self, server: SenseAidServer) -> None:
@@ -240,6 +254,56 @@ class SenseAidClient:
             self.deregister()
         self._server = server
         self.register()
+
+    def set_home_resolver(
+        self, resolver: Optional[Callable[[], Optional[SenseAidServer]]]
+    ) -> None:
+        """Install the fleet's view of who currently serves this device.
+
+        Consulted on ack timeouts so a retry storm against a deposed
+        shard incumbent turns into one redirect to its successor.
+        """
+        self._home_resolver = resolver
+
+    def redirect(self, server: SenseAidServer) -> None:
+        """Follow this device's ring range to a new shard incumbent.
+
+        Unlike :meth:`migrate` (a geographic handover between peers
+        that never met this device), the failover target has replayed
+        the home shard's WAL and already holds our registration — so
+        the session *resyncs* rather than re-registers: handlers are
+        re-attached under the new incarnation epoch, a state report is
+        sent, and every unacknowledged upload is replayed (idempotency
+        keys make the replay safe).
+        """
+        if not self._powered:
+            return
+        if server is self._server and self._server_epoch == server.epoch:
+            return
+        if not self._registered:
+            self._server = server
+            self.register()
+            return
+        try:
+            server.resync_device(self._device, self._on_assignment)
+        except ServerOverloadedError as exc:
+            self._sim.schedule(max(exc.retry_after_s, 0.1), self.redirect, server)
+            return
+        old_epoch = self._server_epoch
+        self._server = server
+        self._server_epoch = server.epoch
+        self.stats.shard_redirects += 1
+        self.log.event(
+            "shard_redirect",
+            device_id=self._device.device_id,
+            old_epoch=old_epoch,
+            new_epoch=server.epoch,
+        )
+        if not self._degraded:
+            self._send_state_report()
+            for state in list(self._inflight.values()):
+                self.stats.resync_uploads += 1
+                self._transmit_upload(state)
 
     def update_preferences(
         self,
@@ -340,8 +404,18 @@ class SenseAidClient:
                 )
             elif ack is not None and not ack.accepted and ack.reason == "stale_epoch":
                 self._sim.schedule(latency, self._on_stale_epoch, request_id)
+            elif ack is not None and not ack.accepted and ack.reason == "crashed":
+                # A dead instance reached over a live radio path (multi-
+                # shard topologies): no real ack will ever come.  Leave
+                # the upload in flight — the ack timeout drives the
+                # retry, by which point the home resolver may already
+                # point at the successor.
+                pass
             else:
-                self._sim.schedule(latency, self._on_upload_acked, request_id)
+                accepted = ack is None or ack.accepted
+                self._sim.schedule(
+                    latency, self._on_upload_acked, request_id, accepted
+                )
 
         self._network.uplink(
             self._device,
@@ -364,13 +438,15 @@ class SenseAidClient:
             self.retry_policy.ack_timeout_s, self._on_ack_timeout, request_id
         )
 
-    def _on_upload_acked(self, request_id: str) -> None:
+    def _on_upload_acked(self, request_id: str, accepted: bool = True) -> None:
         state = self._inflight.pop(request_id, None)
         if state is None:
             return  # already acked (duplicate delivery) or abandoned
         state.acked = True
         self._cancel_timer(state, "ack_timer")
         self._cancel_timer(state, "retry_timer")
+        if accepted:
+            self.acked_uploads.add(state.upload_id)
         self.stats.uploads_acked += 1
         self.log.event(
             "upload_acked",
@@ -379,6 +455,20 @@ class SenseAidClient:
             attempts=state.attempts,
         )
 
+    def _maybe_follow_home(self) -> bool:
+        """Redirect to the fleet's current incumbent if ours was deposed.
+
+        Returns True when a redirect happened (it replays all in-flight
+        uploads itself, so the caller should stop its own retry path).
+        """
+        if self._home_resolver is None:
+            return False
+        target = self._home_resolver()
+        if target is None or target is self._server:
+            return False
+        self.redirect(target)
+        return True
+
     def _on_ack_timeout(self, request_id: str) -> None:
         state = self._inflight.get(request_id)
         if state is None or not self._powered:
@@ -386,6 +476,8 @@ class SenseAidClient:
         if self._degraded:
             # Control plane unreachable: retrying is futile.  Hold the
             # upload; recovery resync will replay it.
+            return
+        if self._maybe_follow_home():
             return
         if state.attempts >= self.retry_policy.max_attempts:
             self._inflight.pop(request_id, None)
@@ -470,6 +562,8 @@ class SenseAidClient:
     def _on_retry_due(self, request_id: str) -> None:
         state = self._inflight.get(request_id)
         if state is None or not self._powered or self._degraded:
+            return
+        if self._maybe_follow_home():
             return
         if self._device.modem.is_connected or self._device.modem.in_tail:
             self.stats.retries_in_tail += 1

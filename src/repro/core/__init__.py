@@ -27,6 +27,13 @@ from repro.core.overload import (
 from repro.core.queues import RequestQueue
 from repro.core.selector import DeviceSelector, ScoredDevice
 from repro.core.server import SenseAidServer, UploadAck
+from repro.core.sharding import (
+    ConsistentHashRing,
+    CrossShardTask,
+    PhiAccrualFailureDetector,
+    ShardSpec,
+    ShardedSenseAid,
+)
 from repro.core.tasks import SensingRequest, TaskSpec
 from repro.core.wal import (
     DurableLog,
@@ -37,6 +44,8 @@ from repro.core.wal import (
 
 __all__ = [
     "AdmissionController",
+    "ConsistentHashRing",
+    "CrossShardTask",
     "DeviceDatastore",
     "DeviceRecord",
     "DeviceSelector",
@@ -44,6 +53,7 @@ __all__ = [
     "EdgeRegionSpec",
     "FederatedSenseAid",
     "OverloadPolicy",
+    "PhiAccrualFailureDetector",
     "RequestClass",
     "RequestQueue",
     "ScoredDevice",
@@ -53,6 +63,8 @@ __all__ = [
     "SensingRequest",
     "ServerMode",
     "ServerOverloadedError",
+    "ShardSpec",
+    "ShardedSenseAid",
     "TaskDatastore",
     "TaskSpec",
     "UploadAck",

@@ -9,6 +9,7 @@ communicated recently (and is therefore likely still in its tail).
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from enum import Enum
 from typing import Optional
@@ -99,6 +100,7 @@ class RetryPolicy:
     backoff_max_s: float = 300.0
     jitter_fraction: float = 0.2
     tail_wait_max_s: float = 60.0
+    retry_after_cap_s: float = 900.0
 
     def __post_init__(self) -> None:
         if self.max_attempts < 1:
@@ -112,11 +114,32 @@ class RetryPolicy:
             raise ValueError("jitter_fraction must be in [0, 1)")
         if self.tail_wait_max_s < 0:
             raise ValueError("tail_wait_max_s must be non-negative")
+        if not (
+            isinstance(self.retry_after_cap_s, (int, float))
+            and not isinstance(self.retry_after_cap_s, bool)
+            and math.isfinite(self.retry_after_cap_s)
+            and self.retry_after_cap_s > 0
+        ):
+            raise ValueError("retry_after_cap_s must be positive and finite")
 
     def backoff_s(self, attempt: int) -> float:
-        """Nominal (un-jittered) backoff after the given attempt number."""
+        """Nominal (un-jittered) backoff after the given attempt number.
+
+        Saturates at ``backoff_max_s`` without evaluating the raw
+        exponential, so pathological attempt numbers (a client stuck in
+        a shed loop for days) cannot overflow ``float`` arithmetic.
+        """
         if attempt < 1:
             raise ValueError("attempt numbers start at 1")
+        if self.backoff_base_s >= self.backoff_max_s:
+            return self.backoff_max_s
+        if self.backoff_multiplier <= 1.0:
+            return self.backoff_base_s
+        saturation = math.log(
+            self.backoff_max_s / self.backoff_base_s, self.backoff_multiplier
+        )
+        if attempt - 1 >= saturation:
+            return self.backoff_max_s
         raw = self.backoff_base_s * self.backoff_multiplier ** (attempt - 1)
         return min(self.backoff_max_s, raw)
 
@@ -128,8 +151,19 @@ class RetryPolicy:
         retrying earlier would land in the same overload window.  The
         client still keeps its own exponential-backoff floor so repeated
         sheds of the same upload back off progressively.
+
+        The hint crossed an unreliable network from a struggling
+        server, so it is sanitised rather than trusted: zero, negative,
+        NaN, or non-finite hints collapse to "no hint" (the backoff
+        floor alone), and absurdly large hints are clamped to
+        ``retry_after_cap_s`` so one bad ack cannot park an upload
+        forever.
         """
-        return max(max(0.0, retry_after_s), self.backoff_s(attempt))
+        hint = retry_after_s
+        if not isinstance(hint, (int, float)) or not math.isfinite(hint) or hint <= 0:
+            hint = 0.0
+        hint = min(float(hint), self.retry_after_cap_s)
+        return max(hint, self.backoff_s(attempt))
 
 
 @dataclass(frozen=True)

@@ -166,6 +166,11 @@ class FederatedSenseAid:
         """
         moved = 0
         for device_id, client in self._clients.items():
+            # Churn guard: a client that deregistered or died between
+            # rebalance ticks must not be resurrected on the target
+            # instance by a handover it never asked for.
+            if not client.registered or not client.powered:
+                continue
             current = self._home[device_id]
             target = self.region_for(client.device.position(), healthy_only=True)
             if target == current:
@@ -249,11 +254,16 @@ class FederatedSenseAid:
         self._failed_over.add(failed_region)
         backup = self._instances[backup_region]
         now = self._sim.now
-        # Move the failed instance's devices to the backup.
+        # Move the failed instance's devices to the backup.  Clients
+        # that deregistered or died stay where they are: carrying them
+        # over would resurrect sessions their users already ended.
         for device_id, home in list(self._home.items()):
             if home != failed_region:
                 continue
-            self._clients[device_id].migrate(backup)
+            client = self._clients[device_id]
+            if not client.registered or not client.powered:
+                continue
+            client.migrate(backup)
             self._home[device_id] = backup_region
             self.handoffs += 1
         # Re-submit the unexpired remainder of every affected task.

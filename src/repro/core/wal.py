@@ -29,7 +29,8 @@ from __future__ import annotations
 
 import json
 import os
-from typing import Callable, Dict, List, Optional
+import zlib
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.core.persistence import (
     SUPPORTED_VERSIONS,
@@ -47,6 +48,22 @@ from repro.core.tasks import SensingRequest, TaskSpec
 
 DataCallback = Callable[[SensedDataPoint], None]
 
+CRC_FIELD = "crc32"
+
+
+class CheckpointCorruptError(ValueError):
+    """A checkpoint file failed its integrity check (torn write or
+    bit rot): unparseable JSON or a CRC footer mismatch."""
+
+
+def checkpoint_crc(snapshot: dict) -> int:
+    """CRC32 over the canonical JSON encoding of the snapshot body
+    (everything except the footer field itself)."""
+    body = json.dumps(
+        {k: v for k, v in snapshot.items() if k != CRC_FIELD}, sort_keys=True
+    )
+    return zlib.crc32(body.encode("utf-8")) & 0xFFFFFFFF
+
 
 class WriteAheadLog:
     """Append-only JSON-lines log with an atomic checkpoint.
@@ -56,19 +73,34 @@ class WriteAheadLog:
     truncates the log in that order — a crash between the two steps
     merely leaves entries that replay as no-ops against the newer
     snapshot's state.
+
+    Checkpoints carry a CRC32 footer over their canonical JSON body.
+    :meth:`compact` keeps the superseded checkpoint and the log entries
+    it subsumed (``checkpoint.prev.json`` / ``wal.prev.jsonl``) so that
+    a torn or bit-rotted current checkpoint degrades recovery to
+    "previous checkpoint + full replay" instead of data loss — see
+    :meth:`recovery_base`.
     """
 
     LOG_NAME = "wal.jsonl"
     CHECKPOINT_NAME = "checkpoint.json"
+    PREV_LOG_NAME = "wal.prev.jsonl"
+    PREV_CHECKPOINT_NAME = "checkpoint.prev.json"
 
     def __init__(self, directory: str) -> None:
         self.directory = directory
         os.makedirs(directory, exist_ok=True)
         self.log_path = os.path.join(directory, self.LOG_NAME)
         self.checkpoint_path = os.path.join(directory, self.CHECKPOINT_NAME)
+        self.prev_log_path = os.path.join(directory, self.PREV_LOG_NAME)
+        self.prev_checkpoint_path = os.path.join(
+            directory, self.PREV_CHECKPOINT_NAME
+        )
+        self.fallbacks = 0
         self._seq = 0
-        for entry in self.entries():
-            self._seq = max(self._seq, entry.get("seq", 0))
+        for path in (self.prev_log_path, self.log_path):
+            for entry in self._entries_at(path):
+                self._seq = max(self._seq, entry.get("seq", 0))
 
     def append(self, kind: str, **fields) -> dict:
         """Durably append one event; returns the stored entry."""
@@ -87,10 +119,14 @@ class WriteAheadLog:
         everything after it — a hole in the sequence means nothing past
         it can be trusted.
         """
-        if not os.path.exists(self.log_path):
+        return self._entries_at(self.log_path)
+
+    @staticmethod
+    def _entries_at(path: str) -> List[dict]:
+        if not os.path.exists(path):
             return []
         out: List[dict] = []
-        with open(self.log_path, "r", encoding="utf-8") as f:
+        with open(path, "r", encoding="utf-8") as f:
             for line in f:
                 line = line.strip()
                 if not line:
@@ -103,27 +139,88 @@ class WriteAheadLog:
         return out
 
     def load_checkpoint(self) -> Optional[dict]:
-        if not os.path.exists(self.checkpoint_path):
+        return self._load_checkpoint_at(self.checkpoint_path)
+
+    @staticmethod
+    def _load_checkpoint_at(path: str) -> Optional[dict]:
+        if not os.path.exists(path):
             return None
-        with open(self.checkpoint_path, "r", encoding="utf-8") as f:
-            snapshot = json.load(f)
+        try:
+            with open(path, "r", encoding="utf-8") as f:
+                snapshot = json.load(f)
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise CheckpointCorruptError(f"unparseable checkpoint {path}: {exc}")
+        if not isinstance(snapshot, dict):
+            raise CheckpointCorruptError(f"checkpoint {path} is not an object")
+        if CRC_FIELD in snapshot and snapshot[CRC_FIELD] != checkpoint_crc(snapshot):
+            raise CheckpointCorruptError(
+                f"checkpoint {path} CRC mismatch: stored={snapshot[CRC_FIELD]} "
+                f"computed={checkpoint_crc(snapshot)}"
+            )
         if snapshot.get("version") not in SUPPORTED_VERSIONS:
             raise ValueError(
                 f"unsupported checkpoint version {snapshot.get('version')!r}"
             )
         return snapshot
 
+    def recovery_base(self) -> Tuple[Optional[dict], List[dict], bool]:
+        """The (checkpoint, entries, degraded) triple recovery starts from.
+
+        Normally that is the current checkpoint plus the live log.  If
+        the current checkpoint fails its integrity check, fall back to
+        the previous checkpoint plus a replay of *both* retained logs —
+        every durable event since the previous checkpoint is in
+        ``wal.prev.jsonl`` + ``wal.jsonl``, so the rebuilt state is
+        identical, just reached the slow way.  ``degraded`` reports
+        that the fallback was taken (also counted in ``fallbacks``).
+        """
+        try:
+            return self.load_checkpoint(), self.entries(), False
+        except CheckpointCorruptError:
+            self.fallbacks += 1
+            try:
+                snapshot = self._load_checkpoint_at(self.prev_checkpoint_path)
+            except CheckpointCorruptError:
+                snapshot = None
+            entries = self._entries_at(self.prev_log_path) + self.entries()
+            return snapshot, entries, True
+
     def compact(self, snapshot: dict) -> None:
         """Install ``snapshot`` as the recovery base and truncate the log.
 
-        The checkpoint replaces atomically first; only then is the log
-        truncated, so no crash point leaves less information on disk
-        than before the call.
+        Order of operations preserves a valid recovery base at every
+        crash point: first the superseded checkpoint and the log
+        entries it subsumes are retained as ``*.prev`` files, then the
+        new checkpoint (stamped with its CRC footer) replaces
+        atomically, and only then is the log truncated.
         """
+        snapshot = dict(snapshot)
+        snapshot[CRC_FIELD] = checkpoint_crc(snapshot)
+        self._retain_previous()
         atomic_write_json(self.checkpoint_path, snapshot)
         with open(self.log_path, "w", encoding="utf-8") as f:
             f.flush()
             os.fsync(f.fileno())
+
+    def _retain_previous(self) -> None:
+        """Keep the current checkpoint + log as the one-step-back base."""
+        self._copy_atomic(self.checkpoint_path, self.prev_checkpoint_path)
+        self._copy_atomic(self.log_path, self.prev_log_path)
+
+    @staticmethod
+    def _copy_atomic(src: str, dst: str) -> None:
+        if not os.path.exists(src):
+            if os.path.exists(dst):
+                os.remove(dst)
+            return
+        with open(src, "rb") as f:
+            payload = f.read()
+        tmp = dst + ".tmp"
+        with open(tmp, "wb") as f:
+            f.write(payload)
+            f.flush()
+            os.fsync(f.fileno())
+        os.replace(tmp, dst)
 
 
 class DurableLog:
@@ -138,21 +235,50 @@ class DurableLog:
 
     def __init__(self, directory: str) -> None:
         self.wal = WriteAheadLog(directory)
+        self.fenced = False
+        self.writes_fenced = 0
+
+    # ------------------------------------------------------------------
+    # Fencing
+    # ------------------------------------------------------------------
+
+    def fence(self) -> None:
+        """Revoke this writer's lease on the log.
+
+        Called when a failover hands the shard's range (and WAL
+        directory) to a new incumbent.  The deposed process may still
+        be running on the wrong side of a partition; from here on its
+        ``record_*`` calls are dropped and counted rather than written,
+        so a zombie can never corrupt the log its successor recovered
+        from.  A durable ``fenced`` marker is appended first so the
+        hand-off itself is visible in the history (replay skips it as
+        an unknown kind on older readers).
+        """
+        if self.fenced:
+            return
+        self.wal.append("fenced", epoch_fenced_at=self.wal._seq)
+        self.fenced = True
+
+    def _append(self, kind: str, **fields) -> Optional[dict]:
+        if self.fenced:
+            self.writes_fenced += 1
+            return None
+        return self.wal.append(kind, **fields)
 
     # ------------------------------------------------------------------
     # Recording hooks (called by the server)
     # ------------------------------------------------------------------
 
     def record_register(self, record) -> None:
-        self.wal.append("register", record=record_to_dict(record))
+        self._append("register", record=record_to_dict(record))
 
     def record_deregister(self, device_id: str) -> None:
-        self.wal.append("deregister", device_id=device_id)
+        self._append("deregister", device_id=device_id)
 
     def record_task_submitted(
         self, task: TaskSpec, effective_start: float, absolute_end: float
     ) -> None:
-        self.wal.append(
+        self._append(
             "task_submitted",
             task=task_to_dict(task),
             effective_start=effective_start,
@@ -162,7 +288,7 @@ class DurableLog:
     def record_task_updated(
         self, task: TaskSpec, effective_start: float, absolute_end: float
     ) -> None:
-        self.wal.append(
+        self._append(
             "task_updated",
             task=task_to_dict(task),
             effective_start=effective_start,
@@ -170,10 +296,10 @@ class DurableLog:
         )
 
     def record_task_deleted(self, task_id: int) -> None:
-        self.wal.append("task_deleted", task_id=task_id)
+        self._append("task_deleted", task_id=task_id)
 
     def record_assign(self, request: SensingRequest, device_id: str) -> None:
-        self.wal.append(
+        self._append(
             "assign",
             request_id=request.request_id,
             task_id=request.task.task_id,
@@ -186,7 +312,7 @@ class DurableLog:
     def record_upload_accept(
         self, upload_id: str, device_id: str, request_id: str, satisfied: bool
     ) -> None:
-        self.wal.append(
+        self._append(
             "upload_accept",
             upload_id=upload_id,
             device_id=device_id,
@@ -195,7 +321,7 @@ class DurableLog:
         )
 
     def record_restart(self, epoch: int) -> None:
-        self.wal.append("restart", epoch=epoch)
+        self._append("restart", epoch=epoch)
 
     # ------------------------------------------------------------------
     # Checkpointing / recovery
@@ -203,6 +329,9 @@ class DurableLog:
 
     def checkpoint(self, server: SenseAidServer) -> None:
         """Snapshot the server and truncate the log behind it."""
+        if self.fenced:
+            self.writes_fenced += 1
+            return
         self.wal.compact(checkpoint_server(server))
 
     def recover_into(
@@ -222,8 +351,13 @@ class DurableLog:
         """
         overrides = dict(data_callbacks or {})
         fallback = dict(server._data_callbacks)
-        snapshot = self.wal.load_checkpoint()
-        entries = self.wal.entries()
+        snapshot, entries, degraded = self.wal.recovery_base()
+        if degraded:
+            server.log.event(
+                "wal_checkpoint_corrupt",
+                directory=self.wal.directory,
+                fallbacks=self.wal.fallbacks,
+            )
         recovered_epoch = snapshot.get("epoch", 1) if snapshot else 1
         for entry in entries:
             if entry["kind"] == "restart":
@@ -518,8 +652,10 @@ def diverged(pre: dict, post: dict) -> bool:
 
 
 __all__ = [
+    "CheckpointCorruptError",
     "WriteAheadLog",
     "DurableLog",
+    "checkpoint_crc",
     "durable_state",
     "check_recovery_invariants",
     "diverged",

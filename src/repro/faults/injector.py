@@ -73,6 +73,9 @@ class FaultStats:
     devices_deregistered: int = 0
     server_crashes: int = 0
     server_restarts: int = 0
+    shard_crashes: int = 0
+    shard_partitions: int = 0
+    shard_heals: int = 0
     overload_bursts: int = 0
     burst_requests: int = 0
     events_executed: int = 0
@@ -89,6 +92,7 @@ class FaultInjector:
         registry=None,
         *,
         server=None,
+        fleet=None,
         plan: Optional[FaultPlan] = None,
         loss_model: Optional[GilbertElliott] = None,
         delay_probability: float = 0.0,
@@ -106,6 +110,7 @@ class FaultInjector:
         self._network = network
         self._registry = registry
         self._server = server
+        self._fleet = fleet
         self._loss_model = loss_model
         self._delay_probability = delay_probability
         self._delay_range_s = delay_range_s
@@ -316,6 +321,28 @@ class FaultInjector:
         self._server.restart()
         self.stats.server_restarts += 1
         self.log.event("fault.server_restart", epoch=self._server.epoch)
+
+    def _require_fleet(self):
+        if self._fleet is None:
+            raise RuntimeError(
+                "shard faults need a fleet reference (ShardedSenseAid)"
+            )
+        return self._fleet
+
+    def _do_shard_crash(self, shard_id: str) -> None:
+        self._require_fleet().crash_shard(shard_id)
+        self.stats.shard_crashes += 1
+        self.log.event("fault.shard_crash", shard_id=shard_id)
+
+    def _do_shard_partition(self, shard_id: str) -> None:
+        self._require_fleet().partition_shard(shard_id)
+        self.stats.shard_partitions += 1
+        self.log.event("fault.shard_partition", shard_id=shard_id)
+
+    def _do_shard_heal(self, shard_id: str) -> None:
+        self._require_fleet().heal_shard(shard_id)
+        self.stats.shard_heals += 1
+        self.log.event("fault.shard_heal", shard_id=shard_id)
 
     def _do_overload_burst(
         self, rate_per_s: float, duration_s: float, request_class: str

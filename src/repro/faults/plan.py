@@ -49,6 +49,9 @@ class FaultPlan:
         "server_crash",
         "server_restart",
         "overload_burst",
+        "shard_crash",
+        "shard_partition",
+        "shard_heal",
     )
 
     def __init__(self) -> None:
@@ -179,6 +182,41 @@ class FaultPlan:
     def server_restart(self, at: float) -> "FaultPlan":
         """Cold-restart the server (crashing it first if still up)."""
         return self.add(at, "server_restart")
+
+    def shard_crash(
+        self,
+        at: float,
+        shard_id: str,
+        *,
+        condition: Optional[Callable[[], bool]] = None,
+    ) -> "FaultPlan":
+        """Hard-kill one shard's incumbent in a sharded fleet.
+
+        The fleet's failure detector notices the missing heartbeats
+        and (with auto-failover on) hands the ring range to a standby.
+        """
+        return self.add(at, "shard_crash", condition, shard_id=shard_id)
+
+    def shard_partition(
+        self,
+        at: float,
+        shard_id: str,
+        *,
+        heal_after: Optional[float] = None,
+        condition: Optional[Callable[[], bool]] = None,
+    ) -> "FaultPlan":
+        """Cut one shard's peer links (split brain: it keeps serving
+        devices while its peers declare it dead and fail over)."""
+        self.add(at, "shard_partition", condition, shard_id=shard_id)
+        if heal_after is not None:
+            if heal_after <= 0:
+                raise ValueError("heal_after must be positive")
+            self.add(at + heal_after, "shard_heal", None, shard_id=shard_id)
+        return self
+
+    def shard_heal(self, at: float, shard_id: str) -> "FaultPlan":
+        """Restore a partitioned shard's peer links."""
+        return self.add(at, "shard_heal", shard_id=shard_id)
 
     def overload_burst(
         self,

@@ -117,6 +117,72 @@ class TestRetryPolicyConfig:
             DegradedModePolicy(period_s=0.0)
 
 
+class TestRetryHintClamps:
+    """Satellite: hostile or buggy Retry-After hints and pathological
+    backoff parameters must not wedge or overflow the retry schedule."""
+
+    POLICY = RetryPolicy(
+        backoff_base_s=10.0, backoff_multiplier=2.0, backoff_max_s=60.0
+    )
+
+    @pytest.mark.parametrize(
+        "hint", [0.0, -1.0, -1e18, float("nan"), float("-inf"), None, "soon"]
+    )
+    def test_useless_hints_fall_back_to_backoff(self, hint):
+        # A zero, negative, non-finite, or non-numeric hint is treated
+        # as absent: the client's own backoff schedule governs.
+        assert self.POLICY.shed_delay_s(1, hint) == 10.0
+        assert self.POLICY.shed_delay_s(3, hint) == 40.0
+
+    def test_honest_hint_wins_when_longer(self):
+        assert self.POLICY.shed_delay_s(1, 25.0) == 25.0
+
+    def test_backoff_wins_when_hint_shorter(self):
+        assert self.POLICY.shed_delay_s(3, 25.0) == 40.0
+
+    def test_huge_hint_clamped_to_cap(self):
+        assert self.POLICY.shed_delay_s(1, 1e18) == self.POLICY.retry_after_cap_s
+        assert self.POLICY.shed_delay_s(1, float("inf")) == 10.0  # non-finite
+
+    def test_cap_is_configurable_and_validated(self):
+        policy = RetryPolicy(
+            backoff_base_s=10.0,
+            backoff_multiplier=2.0,
+            backoff_max_s=60.0,
+            retry_after_cap_s=120.0,
+        )
+        assert policy.shed_delay_s(1, 1e6) == 120.0
+        for bad in (0.0, -5.0, float("nan"), float("inf"), True, "900"):
+            with pytest.raises(ValueError):
+                RetryPolicy(retry_after_cap_s=bad)
+
+    def test_huge_attempt_numbers_do_not_overflow(self):
+        # 2.0 ** 10_000 would raise OverflowError if evaluated naively.
+        assert self.POLICY.backoff_s(10_001) == 60.0
+        assert self.POLICY.shed_delay_s(10_001, 0.0) == 60.0
+
+    def test_extreme_multiplier_saturates_at_cap(self):
+        policy = RetryPolicy(
+            backoff_base_s=1.0, backoff_multiplier=1e300, backoff_max_s=30.0
+        )
+        assert policy.backoff_s(1) == 1.0
+        for attempt in (2, 3, 50):
+            assert policy.backoff_s(attempt) == 30.0
+
+    def test_multiplier_of_one_is_flat(self):
+        policy = RetryPolicy(
+            backoff_base_s=7.0, backoff_multiplier=1.0, backoff_max_s=60.0
+        )
+        assert [policy.backoff_s(a) for a in (1, 2, 9999)] == [7.0, 7.0, 7.0]
+
+    def test_base_at_or_above_max_pins_to_max(self):
+        policy = RetryPolicy(
+            backoff_base_s=90.0, backoff_multiplier=2.0, backoff_max_s=60.0
+        )
+        assert policy.backoff_s(1) == 60.0
+        assert policy.backoff_s(100) == 60.0
+
+
 class TestReassignmentMode:
     """Satellite: reassignment off is an explicit, documented mode."""
 

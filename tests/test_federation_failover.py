@@ -164,3 +164,90 @@ class TestFailover:
         _, federation = make_federation(sim)
         with pytest.raises(ValueError):
             federation.enable_failover(check_period_s=0.0)
+
+
+class TestChurnDuringHandoff:
+    """Devices that deregister, die, or lose their server-side record
+    while a takeover or rebalance is in flight must not be resurrected
+    or crash the handover loop."""
+
+    def _churn_setup(self):
+        sim = Simulator()
+        network, federation = make_federation(sim, rebalance_period_s=1e6)
+        federation.enable_failover(check_period_s=30.0)
+        clients = {
+            "w1": make_client(sim, network, federation, "w1", WEST),
+            "w2": make_client(sim, network, federation, "w2", WEST),
+            "e1": make_client(sim, network, federation, "e1", EAST),
+        }
+        return sim, network, federation, clients
+
+    def test_deregistered_client_not_resurrected_by_takeover(self):
+        sim, network, federation, clients = self._churn_setup()
+        clients["w1"].deregister()  # user ended the session client-side
+        federation.instance("west").crash()
+        sim.run(until=100.0)
+        assert federation.failovers == 1
+        # w2 failed over; w1's ended session stayed ended.
+        assert federation.home_region("w2") == "east"
+        assert "w1" not in federation.instance("east").devices
+        assert not clients["w1"].registered
+        assert federation.home_region("w1") == "west"
+
+    def test_powered_off_client_not_dragged_to_backup(self):
+        sim, network, federation, clients = self._churn_setup()
+        clients["w2"].power_off()  # battery death: no goodbye
+        federation.instance("west").crash()
+        sim.run(until=100.0)
+        assert federation.failovers == 1
+        assert federation.home_region("w1") == "east"
+        assert "w2" not in federation.instance("east").devices
+        assert federation.home_region("w2") == "west"
+
+    def test_server_side_record_loss_then_crash_reestablishes(self):
+        sim, network, federation, clients = self._churn_setup()
+        # The instance forgets w1 (fault injection) while the client
+        # still believes it has a session.
+        federation.instance("west").deregister_device("w1")
+        assert clients["w1"].registered
+        federation.instance("west").crash()
+        sim.run(until=100.0)  # takeover must not KeyError on the orphan
+        assert federation.failovers == 1
+        assert federation.home_region("w1") == "east"
+        assert "w1" in federation.instance("east").devices
+        assert clients["w1"].registered
+
+    def test_rebalance_skips_churned_clients_after_recovery(self):
+        sim, network, federation, clients = self._churn_setup()
+        federation.instance("west").crash()
+        sim.run(until=100.0)
+        assert federation.home_region("w1") == "east"
+        # Churn while everyone is parked on the backup:
+        clients["w1"].deregister()
+        clients["w2"].power_off()
+        federation.recover_instance("west")
+        moved = federation.rebalance()
+        # Nobody eligible actually needs to move home: w1 ended its
+        # session, w2 is dead, e1 was east all along.
+        assert moved == 0
+        assert "w1" not in federation.instance("west").devices
+        assert "w2" not in federation.instance("west").devices
+        assert federation.rebalance() == 0
+
+    def test_campaign_survives_churn_during_takeover(self):
+        sim, network, federation, clients = self._churn_setup()
+        data = []
+        federation.submit_task(
+            make_task(WEST, spatial_density=1, sampling_period_s=300.0,
+                      sampling_duration_s=None, start_time=0.0, end_time=3600.0),
+            data.append,
+        )
+        sim.run(until=350.0)
+        before = len(data)
+        assert before >= 1
+        clients["w1"].deregister()  # churn in the same instant window
+        federation.instance("west").crash()
+        sim.run(until=3700.0)
+        # w2 alone carries the campaign on the backup.
+        assert len(data) > before
+        assert federation.failovers == 1

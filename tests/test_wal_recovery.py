@@ -22,9 +22,11 @@ from repro.core.persistence import (
 )
 from repro.core.server import SenseAidServer
 from repro.core.wal import (
+    CheckpointCorruptError,
     DurableLog,
     WriteAheadLog,
     check_recovery_invariants,
+    checkpoint_crc,
     durable_state,
 )
 from repro.faults import FaultInjector, FaultPlan
@@ -421,3 +423,130 @@ class TestEpochSemantics:
         assert "open tasks" in text
         assert "epoch" in text
         assert check_recovery_invariants(pre, dict(pre, epoch=2)) == []
+
+
+class TestCheckpointCorruption:
+    """Satellite: CRC-footed checkpoints and the previous-generation
+    fallback path when the current checkpoint is damaged on disk."""
+
+    def _two_generations(self, tmp_path):
+        """A WAL with two compactions behind it and a live tail."""
+        wal = WriteAheadLog(str(tmp_path))
+        wal.append("register", device_id="d0")
+        wal.compact({"version": 2, "marker": 1, "devices": ["d0"]})
+        wal.append("register", device_id="d1")
+        wal.compact({"version": 2, "marker": 2, "devices": ["d0", "d1"]})
+        wal.append("register", device_id="d2")
+        return wal
+
+    def test_compact_stamps_crc(self, tmp_path):
+        wal = self._two_generations(tmp_path)
+        with open(wal.checkpoint_path, encoding="utf-8") as f:
+            raw = json.load(f)
+        assert raw["crc32"] == checkpoint_crc(raw)
+        assert wal.load_checkpoint()["marker"] == 2
+
+    def test_tampered_field_fails_crc(self, tmp_path):
+        wal = self._two_generations(tmp_path)
+        with open(wal.checkpoint_path, encoding="utf-8") as f:
+            raw = json.load(f)
+        raw["marker"] = 99  # bit-rot / partial overwrite stand-in
+        with open(wal.checkpoint_path, "w", encoding="utf-8") as f:
+            json.dump(raw, f)
+        with pytest.raises(CheckpointCorruptError, match="CRC"):
+            wal.load_checkpoint()
+
+    def test_garbage_checkpoint_detected(self, tmp_path):
+        wal = self._two_generations(tmp_path)
+        with open(wal.checkpoint_path, "w", encoding="utf-8") as f:
+            f.write("\x00\x01not json at all")
+        with pytest.raises(CheckpointCorruptError, match="unparseable"):
+            wal.load_checkpoint()
+
+    def test_truncated_checkpoint_detected(self, tmp_path):
+        wal = self._two_generations(tmp_path)
+        with open(wal.checkpoint_path, encoding="utf-8") as f:
+            raw = f.read()
+        with open(wal.checkpoint_path, "w", encoding="utf-8") as f:
+            f.write(raw[: len(raw) // 2])  # torn write
+        with pytest.raises(CheckpointCorruptError):
+            wal.load_checkpoint()
+
+    def test_legacy_checkpoint_without_crc_accepted(self, tmp_path):
+        wal = WriteAheadLog(str(tmp_path))
+        atomic_write_json(wal.checkpoint_path, {"version": 2, "marker": 5})
+        assert wal.load_checkpoint()["marker"] == 5
+
+    def test_recovery_base_clean_path(self, tmp_path):
+        wal = self._two_generations(tmp_path)
+        snapshot, entries, degraded = wal.recovery_base()
+        assert snapshot["marker"] == 2
+        assert [e["device_id"] for e in entries] == ["d2"]
+        assert not degraded
+        assert wal.fallbacks == 0
+
+    def test_fallback_to_previous_generation(self, tmp_path):
+        wal = self._two_generations(tmp_path)
+        with open(wal.checkpoint_path, "w", encoding="utf-8") as f:
+            f.write("garbage")
+        snapshot, entries, degraded = wal.recovery_base()
+        # Previous checkpoint + its log suffix + the live tail covers
+        # the exact same history the damaged generation did.
+        assert snapshot["marker"] == 1
+        assert [e["device_id"] for e in entries] == ["d1", "d2"]
+        assert degraded
+        assert wal.fallbacks == 1
+
+    def test_both_generations_corrupt_replays_logs_only(self, tmp_path):
+        wal = self._two_generations(tmp_path)
+        for path in (wal.checkpoint_path, wal.prev_checkpoint_path):
+            with open(path, "w", encoding="utf-8") as f:
+                f.write("garbage")
+        snapshot, entries, degraded = wal.recovery_base()
+        assert snapshot is None
+        assert [e["device_id"] for e in entries] == ["d1", "d2"]
+        assert degraded
+
+    def test_server_recovery_survives_corrupt_checkpoint(self, tmp_path):
+        sim = Simulator(seed=23)
+        server, network, _, clients = wal_setup(sim, tmp_path / "wal")
+        collected = []
+        server.submit_task(
+            make_spec(spatial_density=2, sampling_duration_s=1800.0),
+            collected.append,
+        )
+        sim.run(until=300.0)
+        server._wal.checkpoint(server)
+        sim.run(until=500.0)
+        server._wal.checkpoint(server)
+        sim.run(until=650.0)
+        server.crash()
+        pre = durable_state(server)
+        assert pre["accepted_uploads"] > 0
+        # Damage the newest checkpoint between crash and restart.
+        with open(server._wal.wal.checkpoint_path, "w", encoding="utf-8") as f:
+            f.write("{corrupt")
+        server.restart()
+        post = durable_state(server)
+        assert check_recovery_invariants(pre, post) == []
+        assert server._wal.wal.fallbacks == 1
+        assert server.epoch == 2
+        # Collection resumes on the recovered incumbent.
+        sim.run(until=1400.0)
+        assert server.stats.data_points > pre["accepted_uploads"] - 1
+        server.shutdown()
+
+    def test_recovery_rewrites_a_good_checkpoint(self, tmp_path):
+        sim = Simulator(seed=23)
+        server, network, _, clients = wal_setup(sim, tmp_path / "wal")
+        sim.run(until=100.0)
+        server._wal.checkpoint(server)
+        server.crash()
+        with open(server._wal.wal.checkpoint_path, "w", encoding="utf-8") as f:
+            f.write("garbage")
+        server.restart()
+        # The end-of-recovery compaction installed a fresh, valid,
+        # CRC-stamped checkpoint over the damaged one.
+        reread = server._wal.wal.load_checkpoint()
+        assert reread["epoch"] == server.epoch
+        server.shutdown()
