@@ -255,6 +255,74 @@ def build_parser() -> argparse.ArgumentParser:
     update_parser.add_argument("--baseline", default="benchmarks/baselines")
     update_parser.add_argument("--current", default="benchmarks/artifacts")
     update_parser.set_defaults(func=_cmd_bench_update)
+
+    soak_parser = subparsers.add_parser(
+        "soak",
+        help="chaos soak: seeded fault fuzzing + invariant suite "
+        "(or --replay a shrunken reproducer)",
+    )
+    soak_parser.add_argument(
+        "--seed", type=int, default=7, help="nemesis master seed (default 7)"
+    )
+    soak_parser.add_argument(
+        "--episodes", type=int, default=4, help="episodes to run (default 4)"
+    )
+    soak_parser.add_argument(
+        "--tier",
+        default="medium",
+        choices=["light", "medium", "heavy"],
+        help="nemesis intensity tier (default medium)",
+    )
+    soak_parser.add_argument(
+        "--first-episode",
+        type=int,
+        default=0,
+        help="starting episode index (default 0)",
+    )
+    soak_parser.add_argument(
+        "--devices", type=int, default=10, help="fleet size (default 10)"
+    )
+    soak_parser.add_argument(
+        "--horizon",
+        type=float,
+        default=1200.0,
+        help="fault horizon per episode in sim seconds (default 1200)",
+    )
+    soak_parser.add_argument(
+        "--settle",
+        type=float,
+        default=420.0,
+        help="fault-free settle window after the horizon (default 420)",
+    )
+    soak_parser.add_argument(
+        "--no-replay-check",
+        action="store_true",
+        help="skip the same-seed bit-identity re-run of each episode",
+    )
+    soak_parser.add_argument(
+        "--artifact-dir",
+        default="soak-failures",
+        help="where shrunken reproducer JSONs are written on failure "
+        "(default soak-failures/)",
+    )
+    soak_parser.add_argument(
+        "--shrink-budget",
+        type=int,
+        default=48,
+        help="max probe runs the shrinker may spend per failure (default 48)",
+    )
+    soak_parser.add_argument(
+        "--replay",
+        metavar="FILE",
+        default=None,
+        help="replay a shrunken reproducer JSON instead of fuzzing",
+    )
+    soak_parser.add_argument(
+        "--planted-bug",
+        default=None,
+        help=argparse.SUPPRESS,  # test-only hook: inject a known bug
+    )
+    soak_parser.set_defaults(func=_cmd_soak)
     return parser
 
 
@@ -297,6 +365,82 @@ def _cmd_bench_update(args: argparse.Namespace) -> int:
     for name in copied:
         print(f"updated {name}")
     return 0
+
+
+def _cmd_soak(args: argparse.Namespace) -> int:
+    import os
+    import tempfile
+
+    from repro.soak import (
+        SoakHarness,
+        build_reproducer,
+        load_reproducer,
+        replay_reproducer,
+        shrink_episode,
+        write_reproducer,
+    )
+
+    wal_root = tempfile.mkdtemp(prefix="repro-soak-")
+
+    if args.replay is not None:
+        try:
+            reproducer = load_reproducer(args.replay)
+        except (OSError, ValueError) as exc:
+            print(f"cannot load reproducer: {exc}", file=sys.stderr)
+            return 2
+        violations, signature, stats = replay_reproducer(reproducer, wal_root)
+        print(
+            f"replayed {args.replay}: {len(reproducer['plan']['events'])} "
+            f"event(s), seed {reproducer['sim_seed']}"
+        )
+        for violation in violations:
+            print(f"  VIOLATION {violation.code}: {violation.message}")
+        if not violations:
+            print("  no invariant violations (failure did not reproduce)")
+        print(f"  signature {signature[:16]}…  stats {stats}")
+        return 1 if violations else 0
+
+    harness = SoakHarness(
+        args.seed,
+        wal_root=wal_root,
+        tier=args.tier,
+        n_devices=args.devices,
+        horizon_s=args.horizon,
+        settle_s=args.settle,
+        check_replay=not args.no_replay_check,
+        planted_bug=args.planted_bug,
+    )
+    report = harness.run(args.episodes, first_episode=args.first_episode)
+    print(
+        f"soak: seed {args.seed}, tier {args.tier}, "
+        f"{report.episodes} episode(s), "
+        f"pass rate {report.invariant_pass_rate:.0%}"
+    )
+    for result in report.results:
+        verdict = "ok" if result.ok else "FAIL " + ",".join(result.codes())
+        print(
+            f"  episode {result.episode}: {result.plan_events} fault(s), "
+            f"{result.stats['data_points']} data points, "
+            f"{result.stats['failovers']} failover(s) — {verdict}"
+        )
+    failures = report.failures
+    if not failures:
+        return 0
+    os.makedirs(args.artifact_dir, exist_ok=True)
+    for result in failures:
+        shrunk = shrink_episode(harness, result, max_runs=args.shrink_budget)
+        reproducer = build_reproducer(harness, result, shrunk)
+        path = os.path.join(
+            args.artifact_dir,
+            f"soak-seed{args.seed}-ep{result.episode}.json",
+        )
+        write_reproducer(path, reproducer)
+        print(
+            f"  episode {result.episode}: shrunk "
+            f"{shrunk.original_events} -> {shrunk.shrunk_events} event(s) "
+            f"in {shrunk.runs} run(s); reproducer at {path}"
+        )
+    return 1
 
 
 def main(argv: Optional[List[str]] = None) -> int:

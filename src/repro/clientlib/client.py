@@ -131,6 +131,12 @@ class SenseAidClient:
         #: Only tracked when a retry policy is active — legacy
         #: fire-and-forget uploads never see their ack.
         self.acked_uploads: Set[str] = set()
+        #: How many times each upload id came back with a *fresh*
+        #: ``accepted`` verdict (duplicates ack with reason
+        #: ``"duplicate"`` and don't count).  Any id at 2+ means a
+        #: server double-counted the reading — see
+        #: :meth:`double_accepted_uploads`.
+        self._accepted_acks: Dict[str, int] = {}
         #: Installed by a sharded fleet: returns the current incumbent
         #: serving this device's ring range, so retries can follow a
         #: failover instead of hammering a deposed instance.
@@ -175,6 +181,20 @@ class SenseAidClient:
     def inflight_count(self) -> int:
         """Uploads transmitted but not yet acknowledged (retry mode)."""
         return len(self._inflight)
+
+    def double_accepted_uploads(self) -> Dict[str, int]:
+        """Upload ids freshly *accepted* more than once by some server.
+
+        A retransmit of an already-accepted upload must come back as
+        ``"duplicate"``; a second ``"accepted"`` verdict means the
+        reading was counted twice (e.g. by a fenced zombie and its
+        successor).  Empty dict == idempotency held for this device.
+        """
+        return {
+            upload_id: count
+            for upload_id, count in sorted(self._accepted_acks.items())
+            if count > 1
+        }
 
     @property
     def degraded(self) -> bool:
@@ -386,7 +406,8 @@ class SenseAidClient:
         self._cancel_timer(state, "retry_timer")
         request_id = state.assignment.request.request_id
         payload = self._upload_payload(state.assignment, state.reading)
-        payload["upload_id"] = state.upload_id
+        upload_id = state.upload_id
+        payload["upload_id"] = upload_id
         payload["attempt"] = state.attempts
         message = sensor_data_message(self._device.device_id, payload)
 
@@ -398,6 +419,12 @@ class SenseAidClient:
             # the client backs off (honoring Retry-After) or resyncs.
             ack = self._server.receive_sensed_data(msg, receipt)
             latency = self._network.core_latency_s
+            if ack is not None and ack.accepted and ack.reason == "accepted":
+                # Ledger for the soak idempotency invariant: a correct
+                # server accepts each upload id fresh at most once.
+                self._accepted_acks[upload_id] = (
+                    self._accepted_acks.get(upload_id, 0) + 1
+                )
             if ack is not None and not ack.accepted and ack.reason == "shed":
                 self._sim.schedule(
                     latency, self._on_upload_shed, request_id, ack.retry_after_s

@@ -37,6 +37,7 @@ from repro.core.sharding import (
 from repro.core.tasks import SensingRequest, TaskSpec
 from repro.core.wal import (
     DurableLog,
+    RecoveryViolation,
     WriteAheadLog,
     check_recovery_invariants,
     durable_state,
@@ -54,6 +55,7 @@ __all__ = [
     "FederatedSenseAid",
     "OverloadPolicy",
     "PhiAccrualFailureDetector",
+    "RecoveryViolation",
     "RequestClass",
     "RequestQueue",
     "ScoredDevice",

@@ -1004,6 +1004,24 @@ class SenseAidServer:
             attempt=payload.get("attempt"),
         )
 
+    def idempotency_audit(self) -> dict:
+        """Cross-check accepted-upload accounting against burned keys.
+
+        Every accepted reading burns exactly one fresh idempotency key,
+        so ``accepted`` can never exceed ``burned_keys`` on an honest
+        incarnation — a positive ``overcount`` means some reading was
+        counted twice (the double-counted-reading soak invariant).
+        Burned keys *can* exceed accepts (anti-entropy merges keys
+        accepted elsewhere), so only the one-sided gap is a violation.
+        """
+        accepted = self.stats.data_points
+        burned = len(self._seen_upload_ids)
+        return {
+            "accepted": accepted,
+            "burned_keys": burned,
+            "overcount": max(0, accepted - burned),
+        }
+
     def _validate_reading(
         self, request: SensingRequest, device_id: str, payload: dict
     ) -> bool:

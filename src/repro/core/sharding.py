@@ -46,7 +46,7 @@ import hashlib
 import math
 import os
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.cellular.enodeb import ENodeB, TowerRegistry
 from repro.cellular.network import CellularNetwork
@@ -390,6 +390,10 @@ class ShardedSenseAid:
         self.heartbeats_seen = 0
         self._fenced_writes_retired = 0
         self.failover_log: List[FailoverRecord] = []
+        #: Every epoch transition a shard's serving instance underwent
+        #: (failover or in-place recovery), as ``(shard_id, old, new)``.
+        #: The soak invariant suite asserts monotonicity over this log.
+        self.epoch_log: List[Tuple[str, int, int]] = []
         self._heartbeat_proc = PeriodicProcess(
             sim, heartbeat_period_s, self._heartbeat_tick
         )
@@ -557,7 +561,9 @@ class ShardedSenseAid:
         server = self.instance(shard_id)
         if not server.crashed:
             return
+        old_epoch = server.epoch
         server.restart()
+        self.epoch_log.append((shard_id, old_epoch, server.epoch))
         self._detectors[shard_id] = self._make_detector()
         self._sim.schedule(
             self._redirect_latency, self._redirect_clients, shard_id, server
@@ -631,6 +637,7 @@ class ShardedSenseAid:
         self._partitioned.discard(shard_id)
         self._detectors[shard_id] = self._make_detector()
         self.failovers += 1
+        self.epoch_log.append((shard_id, old_epoch, replacement.epoch))
         self.failover_log.append(
             FailoverRecord(
                 shard_id=shard_id,
@@ -837,6 +844,27 @@ class ShardedSenseAid:
                 if upload_id not in current._seen_upload_ids:
                     missing.setdefault(shard_id, set()).add(upload_id)
         return {sid: sorted(keys) for sid, keys in sorted(missing.items())}
+
+    def acked_upload_audit(self) -> Dict[str, List[str]]:
+        """Client-held accepted acks unknown to the current home owner.
+
+        Maps ``device_id -> sorted upload ids`` for every acknowledged
+        upload whose idempotency key the device's current home
+        incumbent does not hold.  After :meth:`repair` this must be
+        empty: an acknowledged reading no live incumbent remembers is
+        double-countable on retransmit — acknowledged-upload loss from
+        the campaign's point of view.
+        """
+        lost: Dict[str, Set[str]] = {}
+        for device_id, client in sorted(self._clients.items()):
+            home = self._home.get(device_id)
+            if home is None:
+                continue
+            owner = self._servers[home]
+            for upload_id in getattr(client, "acked_uploads", ()):
+                if upload_id not in owner._seen_upload_ids:
+                    lost.setdefault(device_id, set()).add(upload_id)
+        return {did: sorted(keys) for did, keys in sorted(lost.items())}
 
     def repair(self) -> dict:
         """Merge divergent idempotency state and retire zombies.

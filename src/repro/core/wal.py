@@ -574,11 +574,45 @@ def durable_state(server: SenseAidServer) -> dict:
     }
 
 
-def check_recovery_invariants(pre: dict, post: dict) -> List[str]:
+class RecoveryViolation(str):
+    """One recovery-invariant violation, structured *and* stringly.
+
+    Subclasses ``str`` (the value is the human-readable message) so
+    every pre-existing caller — ``"\\n".join(violations)``, substring
+    asserts, ``== []`` — keeps working, while new callers (the soak
+    invariant suite) assert on :attr:`code` and :attr:`keys` instead
+    of parsing prose.
+    """
+
+    code: str
+    keys: Tuple[str, ...]
+
+    def __new__(
+        cls, code: str, message: str, keys: Tuple[str, ...] = ()
+    ) -> "RecoveryViolation":
+        obj = super().__new__(cls, message)
+        obj.code = code
+        obj.keys = tuple(str(k) for k in keys)
+        return obj
+
+    @property
+    def message(self) -> str:
+        return str(self)
+
+    def as_dict(self) -> dict:
+        return {"code": self.code, "message": str(self), "keys": list(self.keys)}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RecoveryViolation({self.code!r}, {str(self)!r}, {self.keys!r})"
+
+
+def check_recovery_invariants(pre: dict, post: dict) -> List[RecoveryViolation]:
     """Compare pre-crash and post-recovery durable state.
 
-    Returns a list of human-readable violations; empty means recovery
-    was exact.  The checks encode the durability contract:
+    Returns a list of :class:`RecoveryViolation` records (each one a
+    ``str`` carrying a stable ``code`` and the offending ``keys``);
+    empty means recovery was exact.  The checks encode the durability
+    contract:
 
     - accepted uploads are neither lost nor double-counted;
     - burned idempotency keys are never resurrected (and none appear
@@ -589,59 +623,104 @@ def check_recovery_invariants(pre: dict, post: dict) -> List[str]:
     - open tasks and in-flight assignment bookkeeping match;
     - the recovered server runs exactly one incarnation ahead.
     """
-    violations: List[str] = []
+    violations: List[RecoveryViolation] = []
     if post["accepted_uploads"] != pre["accepted_uploads"]:
         violations.append(
-            f"accepted uploads diverged: pre={pre['accepted_uploads']} "
-            f"post={post['accepted_uploads']}"
+            RecoveryViolation(
+                "UPLOADS_DIVERGED",
+                f"accepted uploads diverged: pre={pre['accepted_uploads']} "
+                f"post={post['accepted_uploads']}",
+            )
         )
     if post["requests_satisfied"] != pre["requests_satisfied"]:
         violations.append(
-            f"requests_satisfied diverged: pre={pre['requests_satisfied']} "
-            f"post={post['requests_satisfied']}"
+            RecoveryViolation(
+                "SATISFIED_DIVERGED",
+                f"requests_satisfied diverged: pre={pre['requests_satisfied']} "
+                f"post={post['requests_satisfied']}",
+            )
         )
     pre_burned = set(pre["burned_upload_ids"])
     post_burned = set(post["burned_upload_ids"])
     resurrected = pre_burned - post_burned
     if resurrected:
-        violations.append(f"burned keys resurrected: {sorted(resurrected)}")
+        violations.append(
+            RecoveryViolation(
+                "KEYS_RESURRECTED",
+                f"burned keys resurrected: {sorted(resurrected)}",
+                tuple(sorted(resurrected)),
+            )
+        )
     conjured = post_burned - pre_burned
     if conjured:
-        violations.append(f"burned keys appeared from nowhere: {sorted(conjured)}")
+        violations.append(
+            RecoveryViolation(
+                "KEYS_CONJURED",
+                f"burned keys appeared from nowhere: {sorted(conjured)}",
+                tuple(sorted(conjured)),
+            )
+        )
     if post["devices"] != pre["devices"]:
         pre_ids = set(pre["devices"])
         post_ids = set(post["devices"])
         if pre_ids != post_ids:
             violations.append(
-                f"device sets diverged: lost={sorted(pre_ids - post_ids)} "
-                f"gained={sorted(post_ids - pre_ids)}"
+                RecoveryViolation(
+                    "DEVICE_SET_DIVERGED",
+                    f"device sets diverged: lost={sorted(pre_ids - post_ids)} "
+                    f"gained={sorted(post_ids - pre_ids)}",
+                    tuple(sorted(pre_ids ^ post_ids)),
+                )
             )
         else:
             for device_id in sorted(pre_ids):
                 if pre["devices"][device_id] != post["devices"][device_id]:
                     violations.append(
-                        f"device {device_id} diverged: "
-                        f"pre={pre['devices'][device_id]} "
-                        f"post={post['devices'][device_id]}"
+                        RecoveryViolation(
+                            "DEVICE_RECORD_DIVERGED",
+                            f"device {device_id} diverged: "
+                            f"pre={pre['devices'][device_id]} "
+                            f"post={post['devices'][device_id]}",
+                            (device_id,),
+                        )
                     )
     if post["tasks"] != pre["tasks"]:
         violations.append(
-            f"open tasks diverged: pre={pre['tasks']} post={post['tasks']}"
+            RecoveryViolation(
+                "TASKS_DIVERGED",
+                f"open tasks diverged: pre={pre['tasks']} post={post['tasks']}",
+                tuple(sorted(set(pre["tasks"]) ^ set(post["tasks"]))),
+            )
         )
     if post["assignments"] != pre["assignments"]:
         pre_keys = set(pre["assignments"])
         post_keys = set(post["assignments"])
         for key in sorted(pre_keys ^ post_keys):
-            violations.append(f"assignment bookkeeping for {key} on one side only")
+            violations.append(
+                RecoveryViolation(
+                    "ASSIGNMENT_ONE_SIDED",
+                    f"assignment bookkeeping for {key} on one side only",
+                    (key,),
+                )
+            )
         for key in sorted(pre_keys & post_keys):
             if pre["assignments"][key] != post["assignments"][key]:
                 violations.append(
-                    f"assignment {key} diverged: pre={pre['assignments'][key]} "
-                    f"post={post['assignments'][key]}"
+                    RecoveryViolation(
+                        "ASSIGNMENT_DIVERGED",
+                        f"assignment {key} diverged: "
+                        f"pre={pre['assignments'][key]} "
+                        f"post={post['assignments'][key]}",
+                        (key,),
+                    )
                 )
     if post["epoch"] != pre["epoch"] + 1:
         violations.append(
-            f"epoch did not advance by one: pre={pre['epoch']} post={post['epoch']}"
+            RecoveryViolation(
+                "EPOCH_SKEW",
+                f"epoch did not advance by one: pre={pre['epoch']} "
+                f"post={post['epoch']}",
+            )
         )
     return violations
 
@@ -657,6 +736,7 @@ __all__ = [
     "DurableLog",
     "checkpoint_crc",
     "durable_state",
+    "RecoveryViolation",
     "check_recovery_invariants",
     "diverged",
 ]

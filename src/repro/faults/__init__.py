@@ -10,7 +10,13 @@ bit-identical to the fault-free same-seed run.
 
 from repro.faults.injector import FaultDecision, FaultInjector, FaultStats
 from repro.faults.models import GilbertElliott
-from repro.faults.plan import FaultEvent, FaultPlan
+from repro.faults.plan import (
+    ACTION_SCHEMAS,
+    PLAN_SCHEMA,
+    FaultEvent,
+    FaultPlan,
+    FaultPlanError,
+)
 
 
 def reset_global_ids() -> None:
@@ -31,10 +37,13 @@ def reset_global_ids() -> None:
 
 
 __all__ = [
+    "ACTION_SCHEMAS",
+    "PLAN_SCHEMA",
     "FaultDecision",
     "FaultEvent",
     "FaultInjector",
     "FaultPlan",
+    "FaultPlanError",
     "FaultStats",
     "GilbertElliott",
     "reset_global_ids",

@@ -125,6 +125,10 @@ class FaultInjector:
         self.log = SimLogger(sim, "repro.faults")
         network.install_fault_hook(self)
         if plan is not None:
+            # Temporal sanity is enforced at attach time: a strict plan
+            # with a heal preceding its outage raises here, before any
+            # event is scheduled (strict=False plans warn instead).
+            plan.validate()
             for event in plan.events:
                 at = max(event.at, sim.now)
                 sim.schedule_at(at, self._execute, event)
@@ -345,7 +349,7 @@ class FaultInjector:
         self.log.event("fault.shard_heal", shard_id=shard_id)
 
     def _do_overload_burst(
-        self, rate_per_s: float, duration_s: float, request_class: str
+        self, rate_per_s: float, duration_s: float, request_class: str = "query"
     ) -> None:
         from repro.core.overload import RequestClass
 

@@ -1,0 +1,60 @@
+"""Jepsen-style chaos soak: seeded fault fuzzing + invariant suite.
+
+``repro.soak`` turns the chaos layer from a drill-scripting tool into
+a generative robustness harness: a :class:`NemesisGenerator` samples
+random-but-reproducible fault plans (:mod:`repro.soak.nemesis`), a
+:class:`SoakHarness` runs each one as a full sharded-campaign episode
+and judges the settled world against a cross-layer invariant suite
+(:mod:`repro.soak.invariants`), and failures are minimized into
+portable JSON reproducers by a delta-debugging shrinker
+(:mod:`repro.soak.shrinker`) replayable via ``repro soak --replay``.
+"""
+
+from repro.soak.harness import (
+    EpisodeResult,
+    PLANTED_BUGS,
+    SoakHarness,
+    SoakReport,
+)
+from repro.soak.invariants import InvariantViolation, run_invariant_suite
+from repro.soak.nemesis import (
+    IntensityTier,
+    NemesisGenerator,
+    TIERS,
+    WorldSpec,
+    episode_seed,
+    resolve_tier,
+)
+from repro.soak.shrinker import (
+    REPRODUCER_SCHEMA,
+    ShrinkResult,
+    build_reproducer,
+    load_reproducer,
+    replay_reproducer,
+    shrink_episode,
+    shrink_events,
+    write_reproducer,
+)
+
+__all__ = [
+    "EpisodeResult",
+    "IntensityTier",
+    "InvariantViolation",
+    "NemesisGenerator",
+    "PLANTED_BUGS",
+    "REPRODUCER_SCHEMA",
+    "ShrinkResult",
+    "SoakHarness",
+    "SoakReport",
+    "TIERS",
+    "WorldSpec",
+    "build_reproducer",
+    "episode_seed",
+    "load_reproducer",
+    "replay_reproducer",
+    "resolve_tier",
+    "run_invariant_suite",
+    "shrink_episode",
+    "shrink_events",
+    "write_reproducer",
+]

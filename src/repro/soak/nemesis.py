@@ -1,0 +1,365 @@
+"""The nemesis: seeded, legality-constrained fault-plan fuzzing.
+
+A :class:`NemesisGenerator` samples random-but-reproducible
+:class:`~repro.faults.plan.FaultPlan`\\ s against a described world
+(:class:`WorldSpec`) at a chosen :class:`IntensityTier`.  Per-episode
+randomness is derived by hashing ``(master seed, episode index)``, so
+episode 7 of seed 42 is the same plan on every machine, every run,
+forever — the property the soak harness's same-seed determinism check
+and the shrunken reproducers both rest on.
+
+Legality is enforced *by construction* rather than by rejection
+sampling wherever possible:
+
+- every outage is paired with its heal inside the episode horizon
+  (heal-before-outage is therefore impossible — the strict
+  :meth:`FaultPlan.validate` pass at injector-attach time would refuse
+  it anyway);
+- at most one network-wide partition is active at a time;
+- concurrent shard faults are capped below the shard count, so a live
+  standby always exists for failover;
+- concurrent tower outages and total device kills are capped so the
+  campaign retains enough fleet to make progress;
+- message-level knobs (loss model, delay, duplication) run in
+  non-overlapping windows per knob, and injected delays stay well
+  under the clients' ack timeout so a late ack is never mistaken for
+  a lost one;
+- all fault activity lands in the first ~80% of the horizon, leaving
+  the tail (plus the harness's settle window) fault-free for
+  convergence.
+
+``server_crash``/``server_restart`` are deliberately absent from the
+sampled vocabulary: the soak world is sharded, where ``shard_crash``
+*is* the process-death fault (the fleet's failover machinery owns the
+restart).  The single-server actions remain available to hand-written
+plans.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.faults.models import GilbertElliott
+from repro.faults.plan import FaultPlan
+
+#: Fault starts are sampled inside this fraction of the horizon ...
+_START_WINDOW = (0.05, 0.70)
+#: ... and every paired heal fires by this fraction.
+_HEAL_DEADLINE = 0.90
+
+
+@dataclass(frozen=True)
+class WorldSpec:
+    """What the nemesis is allowed to break.
+
+    ``tower_ids`` and ``deregisterable_device_ids`` are scoped to the
+    injector's *front* shard (a :class:`FaultInjector` binds one
+    registry and one server); ``killable_device_ids`` spans the whole
+    fleet (device death is client-side).
+    """
+
+    horizon_s: float
+    shard_ids: Tuple[str, ...] = ()
+    tower_ids: Tuple[str, ...] = ()
+    killable_device_ids: Tuple[str, ...] = ()
+    deregisterable_device_ids: Tuple[str, ...] = ()
+    overload_enabled: bool = True
+
+    def __post_init__(self) -> None:
+        if self.horizon_s <= 0:
+            raise ValueError("horizon_s must be positive")
+
+
+@dataclass(frozen=True)
+class IntensityTier:
+    """How hard the nemesis leans on the world.
+
+    ``vocabulary`` maps fault family -> sampling weight; a family with
+    no legal move left in a given draw is simply skipped (the plan
+    ends up slightly shorter, never illegal).
+    """
+
+    name: str
+    events: Tuple[int, int]  #: (min, max) sampled injections
+    vocabulary: Dict[str, float] = field(default_factory=dict)
+    max_concurrent_shard_faults: int = 1
+    max_concurrent_tower_outages: int = 1
+    max_device_kills: int = 1
+    shard_outage_s: Tuple[float, float] = (60.0, 240.0)
+    tower_outage_s: Tuple[float, float] = (60.0, 240.0)
+    partition_s: Tuple[float, float] = (60.0, 180.0)
+    link_window_s: Tuple[float, float] = (60.0, 300.0)
+    loss_bad_range: Tuple[float, float] = (0.3, 0.8)
+    delay_probability: Tuple[float, float] = (0.1, 0.5)
+    #: Injected delays stay far below the 20 s client ack timeout so a
+    #: slow ack can never masquerade as acknowledged-upload loss.
+    delay_s: Tuple[float, float] = (0.2, 6.0)
+    dup_probability: Tuple[float, float] = (0.05, 0.4)
+    burst_rate_per_s: Tuple[float, float] = (50.0, 150.0)
+    burst_duration_s: Tuple[float, float] = (2.0, 10.0)
+
+
+_BASE_VOCABULARY = {
+    "shard_fault": 3.0,
+    "tower_outage": 2.0,
+    "partition": 1.5,
+    "device_churn": 2.0,
+    "loss": 2.0,
+    "delay": 2.0,
+    "duplication": 2.0,
+    "overload": 1.5,
+}
+
+#: Named intensity tiers.  ``light`` is a smoke-level poke, ``medium``
+#: the PR-gate default, ``heavy`` the nightly soak's diet.
+TIERS: Dict[str, IntensityTier] = {
+    "light": IntensityTier(
+        name="light",
+        events=(3, 6),
+        vocabulary=dict(_BASE_VOCABULARY),
+        max_concurrent_shard_faults=1,
+        max_concurrent_tower_outages=1,
+        max_device_kills=1,
+    ),
+    "medium": IntensityTier(
+        name="medium",
+        events=(6, 12),
+        vocabulary=dict(_BASE_VOCABULARY),
+        max_concurrent_shard_faults=1,
+        max_concurrent_tower_outages=1,
+        max_device_kills=2,
+    ),
+    "heavy": IntensityTier(
+        name="heavy",
+        events=(12, 20),
+        vocabulary=dict(_BASE_VOCABULARY),
+        max_concurrent_shard_faults=2,
+        max_concurrent_tower_outages=2,
+        max_device_kills=3,
+        shard_outage_s=(60.0, 360.0),
+        loss_bad_range=(0.5, 0.9),
+        burst_rate_per_s=(100.0, 300.0),
+    ),
+}
+
+
+def episode_seed(master_seed: int, episode: int) -> int:
+    """Stable per-episode seed: sha256 over (master, episode).
+
+    Hash-derived (not ``master + episode``) so neighbouring master
+    seeds don't share episode streams, and platform-independent so a
+    reproducer minted in CI replays identically on a laptop.
+    """
+    digest = hashlib.sha256(f"soak:{master_seed}:{episode}".encode()).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+def _overlaps(busy: List[Tuple[float, float]], start: float, end: float) -> int:
+    return sum(1 for s, e in busy if start < e and s < end)
+
+
+class NemesisGenerator:
+    """Samples one legal :class:`FaultPlan` per (seed, episode)."""
+
+    def __init__(self, master_seed: int) -> None:
+        self.master_seed = master_seed
+
+    def plan_for_episode(
+        self, episode: int, world: WorldSpec, tier: IntensityTier
+    ) -> FaultPlan:
+        rng = random.Random(episode_seed(self.master_seed, episode))
+        plan = FaultPlan()
+        horizon = world.horizon_s
+        lo, hi = _START_WINDOW
+        heal_by = _HEAL_DEADLINE * horizon
+
+        shard_busy: List[Tuple[float, float]] = []
+        #: Shards with an interval still open, per-shard (one fault per
+        #: shard at a time: crashing an already-partitioned shard is a
+        #: legal state but a confusing reproducer).
+        shard_claims: Dict[str, List[Tuple[float, float]]] = {}
+        tower_busy: List[Tuple[float, float]] = []
+        tower_claims: Dict[str, List[Tuple[float, float]]] = {}
+        partition_busy: List[Tuple[float, float]] = []
+        link_busy: Dict[str, List[Tuple[float, float]]] = {
+            "loss": [],
+            "delay": [],
+            "duplication": [],
+        }
+        kills = 0
+        killed: List[str] = []
+
+        families = sorted(tier.vocabulary)
+        weights = [tier.vocabulary[f] for f in families]
+        n_events = rng.randint(*tier.events)
+        for _ in range(n_events):
+            family = rng.choices(families, weights=weights)[0]
+            start = rng.uniform(lo * horizon, hi * horizon)
+
+            if family == "shard_fault":
+                if not world.shard_ids:
+                    continue
+                duration = rng.uniform(*tier.shard_outage_s)
+                end = min(start + duration, heal_by)
+                if end <= start:
+                    continue
+                if _overlaps(shard_busy, start, end) >= min(
+                    tier.max_concurrent_shard_faults, len(world.shard_ids) - 1
+                ):
+                    continue
+                free = [
+                    sid
+                    for sid in world.shard_ids
+                    if not _overlaps(shard_claims.get(sid, []), start, end)
+                ]
+                if not free:
+                    continue
+                shard_id = rng.choice(free)
+                shard_busy.append((start, end))
+                shard_claims.setdefault(shard_id, []).append((start, end))
+                if rng.random() < 0.5:
+                    # Crash: no explicit heal — detection + failover is
+                    # the recovery path; the interval still counts
+                    # against the concurrency cap.
+                    plan.shard_crash(start, shard_id)
+                else:
+                    plan.shard_partition(
+                        start, shard_id, heal_after=end - start
+                    )
+
+            elif family == "tower_outage":
+                if not world.tower_ids:
+                    continue
+                duration = rng.uniform(*tier.tower_outage_s)
+                end = min(start + duration, heal_by)
+                if end <= start:
+                    continue
+                if (
+                    _overlaps(tower_busy, start, end)
+                    >= tier.max_concurrent_tower_outages
+                ):
+                    continue
+                free = [
+                    tid
+                    for tid in world.tower_ids
+                    if not _overlaps(tower_claims.get(tid, []), start, end)
+                ]
+                if not free:
+                    continue
+                tower_id = rng.choice(free)
+                tower_busy.append((start, end))
+                tower_claims.setdefault(tower_id, []).append((start, end))
+                plan.tower_down(start, tower_id, restore_after=end - start)
+
+            elif family == "partition":
+                duration = rng.uniform(*tier.partition_s)
+                end = min(start + duration, heal_by)
+                if end <= start or _overlaps(partition_busy, start, end):
+                    continue
+                partition_busy.append((start, end))
+                plan.partition(start, heal_after=end - start)
+
+            elif family == "device_churn":
+                deregisterable = [
+                    d
+                    for d in world.deregisterable_device_ids
+                    if d not in killed
+                ]
+                if kills < tier.max_device_kills and world.killable_device_ids:
+                    candidates = [
+                        d for d in world.killable_device_ids if d not in killed
+                    ]
+                    if not candidates:
+                        continue
+                    victim = rng.choice(candidates)
+                    killed.append(victim)
+                    kills += 1
+                    plan.kill_device(start, victim)
+                elif deregisterable:
+                    victim = rng.choice(deregisterable)
+                    killed.append(victim)
+                    plan.deregister_device(start, victim)
+
+            elif family == "loss":
+                duration = rng.uniform(*tier.link_window_s)
+                end = min(start + duration, heal_by)
+                if end <= start or _overlaps(link_busy["loss"], start, end):
+                    continue
+                link_busy["loss"].append((start, end))
+                loss_bad = rng.uniform(*tier.loss_bad_range)
+                plan.set_loss_model(
+                    start,
+                    GilbertElliott(
+                        p_good_to_bad=rng.uniform(0.05, 0.2),
+                        p_bad_to_good=rng.uniform(0.2, 0.5),
+                        loss_good=0.0,
+                        loss_bad=loss_bad,
+                    ),
+                )
+                plan.clear_loss_model(end)
+
+            elif family == "delay":
+                duration = rng.uniform(*tier.link_window_s)
+                end = min(start + duration, heal_by)
+                if end <= start or _overlaps(link_busy["delay"], start, end):
+                    continue
+                link_busy["delay"].append((start, end))
+                d_lo = rng.uniform(*tier.delay_s)
+                d_hi = rng.uniform(d_lo, tier.delay_s[1])
+                plan.set_delay(
+                    start,
+                    probability=rng.uniform(*tier.delay_probability),
+                    delay_range_s=(d_lo, d_hi),
+                )
+                plan.set_delay(end, probability=0.0, delay_range_s=(0.0, 0.0))
+
+            elif family == "duplication":
+                duration = rng.uniform(*tier.link_window_s)
+                end = min(start + duration, heal_by)
+                if end <= start or _overlaps(
+                    link_busy["duplication"], start, end
+                ):
+                    continue
+                link_busy["duplication"].append((start, end))
+                plan.set_duplication(
+                    start, probability=rng.uniform(*tier.dup_probability)
+                )
+                plan.set_duplication(end, probability=0.0)
+
+            elif family == "overload":
+                if not world.overload_enabled:
+                    continue
+                plan.overload_burst(
+                    start,
+                    rate_per_s=round(rng.uniform(*tier.burst_rate_per_s), 3),
+                    duration_s=round(rng.uniform(*tier.burst_duration_s), 3),
+                    request_class=rng.choice(["query", "upload"]),
+                )
+
+        return plan
+
+
+def resolve_tier(name_or_tier) -> IntensityTier:
+    """Accept a tier name (``"medium"``) or an IntensityTier instance."""
+    if isinstance(name_or_tier, IntensityTier):
+        return name_or_tier
+    try:
+        return TIERS[name_or_tier]
+    except KeyError:
+        raise ValueError(
+            f"unknown intensity tier {name_or_tier!r}; "
+            f"known: {sorted(TIERS)}"
+        ) from None
+
+
+__all__ = [
+    "IntensityTier",
+    "NemesisGenerator",
+    "TIERS",
+    "WorldSpec",
+    "episode_seed",
+    "resolve_tier",
+]

@@ -69,3 +69,67 @@ class TestCommands:
         parser = build_parser()
         with pytest.raises(SystemExit):
             parser.parse_args([])
+
+
+class TestSoakCommand:
+    def test_clean_soak_exits_zero(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert (
+            main(
+                [
+                    "soak",
+                    "--seed",
+                    "7",
+                    "--episodes",
+                    "1",
+                    "--tier",
+                    "light",
+                    "--no-replay-check",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "pass rate 100%" in out
+        assert "episode 0" in out
+
+    def test_failing_soak_writes_reproducer_and_replays(
+        self, capsys, tmp_path, monkeypatch
+    ):
+        monkeypatch.chdir(tmp_path)
+        artifact_dir = tmp_path / "failures"
+        assert (
+            main(
+                [
+                    "soak",
+                    "--seed",
+                    "7",
+                    "--episodes",
+                    "1",
+                    "--no-replay-check",
+                    "--planted-bug",
+                    "lost_ack",
+                    "--artifact-dir",
+                    str(artifact_dir),
+                ]
+            )
+            == 1
+        )
+        out = capsys.readouterr().out
+        assert "ACKED_UPLOAD_LOST" in out
+        assert "shrunk" in out
+        reproducers = list(artifact_dir.glob("*.json"))
+        assert len(reproducers) == 1
+        # The shrunken reproducer still fails under --replay.
+        assert main(["soak", "--replay", str(reproducers[0])]) == 1
+        replay_out = capsys.readouterr().out
+        assert "VIOLATION ACKED_UPLOAD_LOST" in replay_out
+
+    def test_replay_of_missing_file_fails_cleanly(self, capsys, tmp_path):
+        assert main(["soak", "--replay", str(tmp_path / "nope.json")]) == 2
+        err = capsys.readouterr().err
+        assert "cannot load reproducer" in err
+
+    def test_soak_rejects_unknown_tier(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["soak", "--tier", "apocalyptic"])

@@ -24,6 +24,7 @@ from repro.core.server import SenseAidServer
 from repro.core.wal import (
     CheckpointCorruptError,
     DurableLog,
+    RecoveryViolation,
     WriteAheadLog,
     check_recovery_invariants,
     checkpoint_crc,
@@ -535,6 +536,79 @@ class TestCheckpointCorruption:
         sim.run(until=1400.0)
         assert server.stats.data_points > pre["accepted_uploads"] - 1
         server.shutdown()
+
+    def test_violations_are_structured_and_stringly(self):
+        """check_recovery_invariants returns RecoveryViolation records:
+        each is a str (backward compat — joins, substring asserts and
+        ``== []`` all keep working) carrying a stable code and the
+        offending keys for programmatic consumers."""
+        base = {
+            "accepted_uploads": 3,
+            "requests_satisfied": 1,
+            "burned_upload_ids": ["a", "b", "c"],
+            "devices": {"d0": {"times_selected": 2}},
+            "tasks": {},
+            "assignments": {},
+            "epoch": 1,
+        }
+        post = dict(base)
+        post["burned_upload_ids"] = ["b", "c", "ghost"]
+        post["epoch"] = 5
+        violations = check_recovery_invariants(base, post)
+        codes = {v.code for v in violations}
+        assert codes == {"KEYS_RESURRECTED", "KEYS_CONJURED", "EPOCH_SKEW"}
+        by_code = {v.code: v for v in violations}
+        assert isinstance(by_code["KEYS_RESURRECTED"], RecoveryViolation)
+        assert isinstance(by_code["KEYS_RESURRECTED"], str)
+        assert by_code["KEYS_RESURRECTED"].keys == ("a",)
+        assert by_code["KEYS_CONJURED"].keys == ("ghost",)
+        assert "resurrected" in by_code["KEYS_RESURRECTED"]
+        assert "\n".join(violations)  # string view survives joining
+        record = by_code["EPOCH_SKEW"].as_dict()
+        assert record["code"] == "EPOCH_SKEW"
+        assert record["message"] == str(by_code["EPOCH_SKEW"])
+
+    def test_violation_codes_cover_each_divergence(self):
+        base = {
+            "accepted_uploads": 3,
+            "requests_satisfied": 1,
+            "burned_upload_ids": [],
+            "devices": {"d0": {"times_selected": 2}},
+            "tasks": {"t1": "spec"},
+            "assignments": {"r1": ["d0"]},
+            "epoch": 1,
+        }
+        cases = {
+            "UPLOADS_DIVERGED": {"accepted_uploads": 99},
+            "SATISFIED_DIVERGED": {"requests_satisfied": 0},
+            "DEVICE_SET_DIVERGED": {"devices": {}},
+            "DEVICE_RECORD_DIVERGED": {
+                "devices": {"d0": {"times_selected": 7}}
+            },
+            "TASKS_DIVERGED": {"tasks": {}},
+            "ASSIGNMENT_ONE_SIDED": {"assignments": {}},
+            "ASSIGNMENT_DIVERGED": {"assignments": {"r1": ["d9"]}},
+        }
+        for expected_code, mutation in cases.items():
+            post = dict(base)
+            post["epoch"] = 2  # correct advance; isolate the mutation
+            post.update(mutation)
+            codes = {v.code for v in check_recovery_invariants(base, post)}
+            assert expected_code in codes, (expected_code, codes)
+
+    def test_clean_recovery_is_empty_list(self):
+        base = {
+            "accepted_uploads": 0,
+            "requests_satisfied": 0,
+            "burned_upload_ids": [],
+            "devices": {},
+            "tasks": {},
+            "assignments": {},
+            "epoch": 1,
+        }
+        post = dict(base)
+        post["epoch"] = 2
+        assert check_recovery_invariants(base, post) == []
 
     def test_recovery_rewrites_a_good_checkpoint(self, tmp_path):
         sim = Simulator(seed=23)
