@@ -1,0 +1,1144 @@
+"""Struct-of-arrays device plane: the fleet hot path, vectorized.
+
+The event-driven control plane (``repro.core.server`` +
+``repro.cellular.rrc``) steps one Python object per device per RRC
+transition.  That is the right shape for the paper's 60-student study
+and for the fault/durability machinery, but it caps the scalability
+tier around ~27k events/s — far short of the million-device north star
+(ROADMAP item 2).  This module is the batch-shaped counterpart: the
+whole fleet lives in parallel numpy arrays (struct-of-arrays) and every
+hot operation — RRC transitions, tail-window queries, qualification
+probes, four-factor scoring — runs once over the fleet instead of once
+per device.
+
+Two interchangeable planes implement the same batched API:
+
+- :class:`ObjectDevicePlane` — one plain-Python scalar loop per
+  operation.  Slow, obvious, and the *reference semantics*.
+- :class:`VectorDevicePlane` — numpy float64/int64/bool arrays with one
+  vectorized kernel per operation.
+
+**The equivalence contract.**  Both planes evaluate the identical
+arithmetic expressions in the identical element-wise operation order on
+IEEE-754 doubles, so for any seed, fleet, and campaign the two planes
+produce *bit-identical* results: the same selection log, the same
+per-device energy ledgers (``==`` on floats, no tolerance), the same
+RRC states and tail deadlines.  Property tests
+(``tests/test_deviceplane_equivalence.py``) enforce this with the same
+indexed==scanned pattern PR 4 used for the spatial index; the chaos
+soak harness re-checks it every episode via
+:func:`repro.soak.invariants.check_plane_equivalence`.
+
+The RRC semantics mirror :class:`repro.cellular.rrc.RadioModem`'s
+marginal energy attribution in closed form (cold upload = promotion +
+transfer + full tail; tail upload without reset = transfer increment
+minus the displaced tail stretch; tail upload with reset additionally
+pays the tail extension; active piggyback = transfer increment), with
+one structural simplification: the plane advances in *batched* steps,
+so PROMOTING+ACTIVE are folded into a single busy window per transfer
+(``active_until``).  Within one :meth:`advance_to` the transition order
+matches the event engine's ``PRIORITY_RADIO`` convention — radio state
+settles before any application logic reads it.
+
+Plane choice is a runtime toggle: pass ``kind=`` to :func:`make_plane`
+or set ``REPRO_DEVICE_PLANE=object|vector`` (the soak harness uses the
+toggle to cross-check both planes; experiments choose per run — see
+``docs/deviceplane.md``).
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import random
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+
+from repro.cellular.power import LTE_POWER_PROFILE, RadioPowerProfile
+from repro.cellular.rrc import TailPolicy
+from repro.cellular.spatial import UniformGridIndex
+from repro.core.config import SelectorWeights
+from repro.core.selector import eligibility_mask, linear_score
+from repro.environment.geometry import Point
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.engine import Simulator
+
+try:  # numpy is a hard dependency (pyproject), but degrade loudly.
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised only without numpy
+    np = None
+
+#: Environment variable consulted by :func:`make_plane` when no kind is
+#: passed explicitly — the runtime toggle for soak/chaos cross-checks.
+PLANE_ENV_VAR = "REPRO_DEVICE_PLANE"
+
+#: RRC state encoding shared by both planes (int8 in the vector plane).
+IDLE, ACTIVE, TAIL = 0, 1, 2
+
+_STATE_NAMES = {IDLE: "idle", ACTIVE: "active", TAIL: "tail"}
+
+#: "Never communicated": TTL becomes +inf and caps at ``ttl_cap_s``,
+#: exactly like the object path's ``ttl_s() is None`` rule.
+NEVER = float("-inf")
+
+
+# ----------------------------------------------------------------------
+# Fleet specification
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FleetSpec:
+    """Deterministic recipe for a synthetic fleet.
+
+    Initial state is drawn from :class:`random.Random` (platform-stable)
+    in device-index order, so both planes build from the very same
+    floats.  Device ids are the array indices; the exported string ids
+    (``d000042``) are zero-padded so lexicographic order equals index
+    order — the tie-break the selector's determinism contract needs.
+    """
+
+    devices: int
+    seed: int = 0
+    width_m: float = 9000.0
+    height_m: float = 9000.0
+    speed_mps: float = 1.4
+    battery_capacity_j: float = 37440.0  # 2,600 mAh @ 4 V — nominal phone
+    energy_budget_j: float = 496.0
+    critical_battery_pct: float = 20.0
+    min_initial_battery_pct: float = 30.0
+    sensor_fraction: float = 0.85
+    profile: RadioPowerProfile = LTE_POWER_PROFILE
+    tail_policy: TailPolicy = TailPolicy.NO_RESET
+
+    def __post_init__(self) -> None:
+        if self.devices < 0:
+            raise ValueError(f"devices must be non-negative, got {self.devices!r}")
+        if self.width_m <= 0 or self.height_m <= 0:
+            raise ValueError("world dimensions must be positive")
+        if not 0.0 <= self.sensor_fraction <= 1.0:
+            raise ValueError("sensor_fraction must be in [0, 1]")
+        if self.profile.tail_stages:
+            raise ValueError(
+                "the device plane models flat tails only; staged-tail "
+                "profiles (3G) stay on the object-per-device modem"
+            )
+
+    def initial_state(self) -> Dict[str, list]:
+        """Per-device initial values as parallel Python lists."""
+        rng = random.Random(self.seed)
+        xs: List[float] = []
+        ys: List[float] = []
+        vxs: List[float] = []
+        vys: List[float] = []
+        battery: List[float] = []
+        equipped: List[bool] = []
+        for _ in range(self.devices):
+            xs.append(rng.uniform(0.0, self.width_m))
+            ys.append(rng.uniform(0.0, self.height_m))
+            heading = rng.uniform(0.0, 2.0 * math.pi)
+            speed = rng.uniform(0.5, 1.5) * self.speed_mps
+            vxs.append(speed * math.cos(heading))
+            vys.append(speed * math.sin(heading))
+            battery.append(rng.uniform(self.min_initial_battery_pct, 100.0))
+            equipped.append(rng.random() < self.sensor_fraction)
+        return {
+            "x": xs,
+            "y": ys,
+            "vx": vxs,
+            "vy": vys,
+            "battery_pct": battery,
+            "equipped": equipped,
+        }
+
+    def device_id(self, index: int) -> str:
+        width = max(1, len(str(max(0, self.devices - 1))))
+        return f"d{index:0{width}d}"
+
+
+# ----------------------------------------------------------------------
+# Campaign workload (shared driver, plane-agnostic)
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SensingTask:
+    """One circular sensing task the campaign schedules every round."""
+
+    center_x: float
+    center_y: float
+    radius_m: float
+    devices_needed: int
+
+    def __post_init__(self) -> None:
+        if self.radius_m < 0:
+            raise ValueError("radius_m must be non-negative")
+        if self.devices_needed <= 0:
+            raise ValueError("devices_needed must be positive")
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """A deterministic sensing campaign over a fleet.
+
+    Every ``round_period_s`` the plane advances (batched RRC
+    transitions + mobility), flushes pending uploads whose tail window
+    opened (or whose patience ran out), then runs one qualification
+    probe + selection per task.  ``tail_defer_s`` is the paper's
+    tail-aware upload discipline: a selected device holds its reading
+    (``pending_upload`` flag) until its radio tail opens, paying the
+    cheap piggyback price, and only forces a cold upload after waiting
+    ``tail_defer_s``.  ``tail_defer_s=0`` uploads immediately.
+    """
+
+    tasks: Tuple[SensingTask, ...]
+    round_period_s: float = 60.0
+    upload_bytes: int = 1024
+    sample_energy_j: float = 0.01
+    tail_defer_s: float = 120.0
+    weights: SelectorWeights = field(default_factory=SelectorWeights)
+    max_selections_per_epoch: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.round_period_s <= 0:
+            raise ValueError("round_period_s must be positive")
+        if self.tail_defer_s < 0:
+            raise ValueError("tail_defer_s must be non-negative")
+
+
+def default_campaign(spec: FleetSpec, *, density: int = 5) -> CampaignSpec:
+    """Four district tasks mirroring the city-scale benchmark world."""
+    quarter_x, three_quarters_x = spec.width_m * 0.25, spec.width_m * 0.75
+    quarter_y, three_quarters_y = spec.height_m * 0.25, spec.height_m * 0.75
+    return CampaignSpec(
+        tasks=(
+            SensingTask(quarter_x, quarter_y, 800.0, density),
+            SensingTask(three_quarters_x, quarter_y, 800.0, density),
+            SensingTask(quarter_x, three_quarters_y, 800.0, density),
+            SensingTask(three_quarters_x, three_quarters_y, 800.0, density),
+        )
+    )
+
+
+@dataclass(frozen=True)
+class SelectionRecord:
+    """One selector execution in the campaign's selection log."""
+
+    round_index: int
+    task_index: int
+    qualified: Tuple[int, ...]
+    selected: Tuple[int, ...]
+
+
+@dataclass
+class CampaignResult:
+    """Everything a campaign run produced, for scorecards and equality."""
+
+    rounds: int
+    selection_log: List[SelectionRecord] = field(default_factory=list)
+    device_events: int = 0
+    transitions: int = 0
+    uploads: int = 0
+    cold_uploads: int = 0
+    tail_uploads: int = 0
+    selections: int = 0
+    unsatisfiable: int = 0
+
+    def selected_counts(self) -> Dict[int, int]:
+        counts: Dict[int, int] = {}
+        for record in self.selection_log:
+            for index in record.selected:
+                counts[index] = counts.get(index, 0) + 1
+        return counts
+
+
+# ----------------------------------------------------------------------
+# Scalar transition/upload kernels (the reference semantics)
+# ----------------------------------------------------------------------
+#
+# Each scalar kernel below has a vectorized twin inside
+# VectorDevicePlane.  The expressions are kept textually parallel on
+# purpose: element-wise IEEE-754 double arithmetic is bit-deterministic,
+# so same expression + same operation order = same bits.  Touch one
+# side only together with the other.
+
+
+class _ScalarDevice:
+    """Per-device state of the object plane (plain attributes)."""
+
+    __slots__ = (
+        "x",
+        "y",
+        "vx",
+        "vy",
+        "battery_pct",
+        "equipped",
+        "energy_used_j",
+        "times_selected",
+        "state",
+        "active_until",
+        "tail_deadline",
+        "resume_deadline",
+        "fresh_tail",
+        "last_comm",
+        "pending_upload",
+        "pending_since",
+        "promotions",
+    )
+
+    def __init__(self, x: float, y: float, vx: float, vy: float,
+                 battery_pct: float, equipped: bool) -> None:
+        self.x = x
+        self.y = y
+        self.vx = vx
+        self.vy = vy
+        self.battery_pct = battery_pct
+        self.equipped = equipped
+        self.energy_used_j = 0.0
+        self.times_selected = 0
+        self.state = IDLE
+        self.active_until = 0.0
+        self.tail_deadline = 0.0
+        self.resume_deadline = 0.0
+        self.fresh_tail = True
+        self.last_comm = NEVER
+        self.pending_upload = False
+        self.pending_since = 0.0
+        self.promotions = 0
+
+
+class DevicePlane:
+    """Shared interface + bookkeeping of both plane implementations."""
+
+    kind: str = "abstract"
+
+    def __init__(self, spec: FleetSpec) -> None:
+        self.spec = spec
+        self.now = 0.0
+        self.transitions = 0
+        self.uploads = 0
+        self.cold_uploads = 0
+        self.tail_uploads = 0
+        #: Existing uniform-grid spatial index, fed in batch with
+        #: integer device ids; refreshed lazily before indexed queries.
+        self.grid = UniformGridIndex(cell_size_m=500.0)
+        self._grid_clean_at: Optional[float] = None
+
+    # -- interface -----------------------------------------------------
+
+    @property
+    def n(self) -> int:
+        raise NotImplementedError
+
+    def advance_to(self, t: float) -> int:
+        """Batched RRC transitions + mobility up to absolute time ``t``.
+
+        Returns the number of per-device RRC transitions performed.
+        Transition order within the batch: (1) transfers whose busy
+        window ended enter TAIL (or fall straight through to IDLE when
+        their deadline already passed), (2) tails whose deadline
+        arrived drop to IDLE, (3) positions advance (toroidal wrap).
+        ``t`` may equal ``now``; going backwards raises.
+        """
+        raise NotImplementedError
+
+    def tail_mask(self) -> Sequence[bool]:
+        """Batched tail-window query: True where the radio is in TAIL."""
+        raise NotImplementedError
+
+    def tail_remaining(self) -> Sequence[float]:
+        """Seconds of tail left per device (0.0 outside the tail)."""
+        raise NotImplementedError
+
+    def qualification(
+        self, center_x: float, center_y: float, radius_m: float,
+        *, use_index: bool = True,
+    ) -> List[int]:
+        """Batched qualification probe: equipped devices inside the circle.
+
+        The region test is on squared distance (both planes), candidates
+        come from the uniform-grid index unless ``use_index=False``
+        forces the full-fleet scan — the indexed==scanned equivalence
+        handle.  Returns ascending device indices.
+        """
+        raise NotImplementedError
+
+    def begin_uploads(self, indices: Sequence[int], size_bytes: int,
+                      sample_energy_j: float = 0.0) -> None:
+        """Batched upload start with marginal energy attribution."""
+        raise NotImplementedError
+
+    def rank(
+        self, candidates: Sequence[int], weights: SelectorWeights,
+        max_selections: Optional[int] = None,
+    ) -> List[int]:
+        """Eligible candidates ordered best-first (score, then index)."""
+        raise NotImplementedError
+
+    def mark_selected(self, indices: Sequence[int]) -> None:
+        raise NotImplementedError
+
+    def set_pending(self, indices: Sequence[int]) -> None:
+        """Flag devices as holding a reading for a tail-window upload."""
+        raise NotImplementedError
+
+    def pending_due(self, defer_s: float) -> List[int]:
+        """Pending devices whose tail is open, who are already busy
+        (piggyback), or whose patience ``defer_s`` expired (forced cold
+        upload); ascending indices.  Clears the flag for the returned
+        set."""
+        raise NotImplementedError
+
+    def crowdsensing_energy(self) -> List[float]:
+        """Per-device crowdsensing joules, index order."""
+        raise NotImplementedError
+
+    def state_codes(self) -> List[int]:
+        raise NotImplementedError
+
+    def snapshot(self) -> Dict[str, list]:
+        """Exact per-device state for cross-plane equality checks."""
+        raise NotImplementedError
+
+    # -- shared helpers ------------------------------------------------
+
+    def total_crowdsensing_energy_j(self) -> float:
+        """Fleet total via ``math.fsum`` in index order (both planes)."""
+        return math.fsum(self.crowdsensing_energy())
+
+    def state_counts(self) -> Dict[str, int]:
+        counts = {name: 0 for name in _STATE_NAMES.values()}
+        for code in self.state_codes():
+            counts[_STATE_NAMES[code]] += 1
+        return counts
+
+    def _invalidate_grid(self) -> None:
+        self._grid_clean_at = None
+
+    def device_positions(self) -> List[Tuple[int, float, float]]:
+        """(index, x, y) triples — the grid feed."""
+        raise NotImplementedError
+
+    def refresh_grid(self) -> int:
+        """Feed current positions into the uniform-grid index (batched).
+
+        Memoised per instant, like the registry's refresh path: a
+        second indexed query at the same time reuses the buckets.
+        Returns how many devices changed bucket (0 on a memo hit).
+        """
+        if self._grid_clean_at == self.now:
+            return 0
+        moved = self.grid.update_many(
+            (index, Point(x, y)) for index, x, y in self.device_positions()
+        )
+        self._grid_clean_at = self.now
+        return moved
+
+
+def _scalar_advance(dev: _ScalarDevice, t: float, tail_s: float) -> int:
+    """Scalar twin of the vector plane's transition kernel."""
+    transitions = 0
+    if dev.state == ACTIVE and dev.active_until <= t:
+        dev.last_comm = dev.active_until
+        if dev.fresh_tail:
+            deadline = dev.active_until + tail_s
+        else:
+            deadline = dev.resume_deadline
+        dev.fresh_tail = True
+        if deadline <= t:
+            # TAIL entered and already expired inside this batch step.
+            dev.state = IDLE
+            dev.tail_deadline = deadline
+            transitions += 2
+        else:
+            dev.state = TAIL
+            dev.tail_deadline = deadline
+            transitions += 1
+    if dev.state == TAIL and dev.tail_deadline <= t:
+        dev.state = IDLE
+        transitions += 1
+    return transitions
+
+
+def _scalar_upload(
+    dev: _ScalarDevice,
+    now: float,
+    transfer_s: float,
+    profile: RadioPowerProfile,
+    resets_tail: bool,
+    sample_energy_j: float,
+    battery_step: float,
+) -> Tuple[float, bool, bool]:
+    """Scalar twin of the vector upload kernel.
+
+    Returns ``(marginal_j, was_cold, was_tail)``; mutates the device.
+    """
+    was_cold = False
+    was_tail = False
+    if dev.state == IDLE:
+        was_cold = True
+        marginal = (
+            profile.promotion_energy_j()
+            + profile.active_energy_j(transfer_s)
+            + profile.tail_energy_j()
+        )
+        dev.promotions += 1
+        dev.state = ACTIVE
+        dev.active_until = now + profile.promotion_s + transfer_s
+        dev.fresh_tail = True
+    elif dev.state == ACTIVE:
+        marginal = profile.active_energy_j(transfer_s)
+        dev.active_until = dev.active_until + transfer_s
+    else:  # TAIL
+        was_tail = True
+        offset = profile.tail_s - (dev.tail_deadline - now)
+        marginal = profile.active_energy_j(transfer_s)
+        if resets_tail:
+            marginal += profile.tail_energy_between(0.0, profile.tail_s)
+            marginal -= profile.tail_energy_between(offset, profile.tail_s)
+            dev.fresh_tail = True
+        else:
+            marginal -= profile.tail_energy_between(offset, offset + transfer_s)
+            dev.resume_deadline = dev.tail_deadline
+            dev.fresh_tail = False
+        marginal = max(0.0, marginal)
+        dev.state = ACTIVE
+        dev.active_until = now + transfer_s
+    charged = marginal + sample_energy_j
+    dev.energy_used_j = dev.energy_used_j + charged
+    dev.battery_pct = dev.battery_pct - charged / battery_step
+    return charged, was_cold, was_tail
+
+
+class ObjectDevicePlane(DevicePlane):
+    """The bit-identical slow reference: one Python loop per batch op."""
+
+    kind = "object"
+
+    def __init__(self, spec: FleetSpec) -> None:
+        super().__init__(spec)
+        state = spec.initial_state()
+        self._devices: List[_ScalarDevice] = [
+            _ScalarDevice(
+                state["x"][i],
+                state["y"][i],
+                state["vx"][i],
+                state["vy"][i],
+                state["battery_pct"][i],
+                state["equipped"][i],
+            )
+            for i in range(spec.devices)
+        ]
+        # Fleet-wide constant the scalar upload kernel divides by.
+        self._battery_step = spec.battery_capacity_j / 100.0
+
+    @property
+    def n(self) -> int:
+        return len(self._devices)
+
+    def advance_to(self, t: float) -> int:
+        if t < self.now:
+            raise ValueError(f"cannot advance backwards: now={self.now}, t={t}")
+        dt = t - self.now
+        tail_s = self.spec.profile.tail_s
+        width, height = self.spec.width_m, self.spec.height_m
+        transitions = 0
+        for dev in self._devices:
+            transitions += _scalar_advance(dev, t, tail_s)
+            if dt > 0.0:
+                dev.x = (dev.x + dev.vx * dt) % width
+                dev.y = (dev.y + dev.vy * dt) % height
+        if dt > 0.0 and self._devices:
+            self._invalidate_grid()
+        self.now = t
+        self.transitions += transitions
+        return transitions
+
+    def tail_mask(self) -> List[bool]:
+        return [dev.state == TAIL for dev in self._devices]
+
+    def tail_remaining(self) -> List[float]:
+        return [
+            max(0.0, dev.tail_deadline - self.now) if dev.state == TAIL else 0.0
+            for dev in self._devices
+        ]
+
+    def qualification(
+        self, center_x: float, center_y: float, radius_m: float,
+        *, use_index: bool = True,
+    ) -> List[int]:
+        radius_sq = radius_m * radius_m
+        if use_index:
+            self.refresh_grid()
+            candidates = sorted(
+                self.grid.candidates_in_circle(Point(center_x, center_y), radius_m)
+            )
+        else:
+            candidates = range(len(self._devices))
+        out = []
+        for index in candidates:
+            dev = self._devices[index]
+            if not dev.equipped:
+                continue
+            dx = dev.x - center_x
+            dy = dev.y - center_y
+            if dx * dx + dy * dy <= radius_sq:
+                out.append(index)
+        return out
+
+    def begin_uploads(self, indices: Sequence[int], size_bytes: int,
+                      sample_energy_j: float = 0.0) -> None:
+        if len(indices) == 0:
+            return
+        profile = self.spec.profile
+        transfer_s = profile.transfer_time(size_bytes)
+        resets_tail = self.spec.tail_policy is TailPolicy.RESET
+        for index in indices:
+            dev = self._devices[index]
+            _, was_cold, was_tail = _scalar_upload(
+                dev, self.now, transfer_s, profile, resets_tail,
+                sample_energy_j, self._battery_step,
+            )
+            self.uploads += 1
+            if was_cold:
+                self.cold_uploads += 1
+            if was_tail:
+                self.tail_uploads += 1
+
+    def rank(
+        self, candidates: Sequence[int], weights: SelectorWeights,
+        max_selections: Optional[int] = None,
+    ) -> List[int]:
+        scored = []
+        for index in candidates:
+            dev = self._devices[index]
+            if not eligibility_mask(
+                responsive=True,
+                energy_used_j=dev.energy_used_j,
+                energy_budget_j=self.spec.energy_budget_j,
+                battery_pct=dev.battery_pct,
+                critical_battery_pct=self.spec.critical_battery_pct,
+                times_selected=dev.times_selected,
+                max_selections=max_selections,
+            ):
+                continue
+            ttl_term = min(self.now - dev.last_comm, weights.ttl_cap_s)
+            score = linear_score(
+                weights,
+                dev.energy_used_j,
+                dev.times_selected,
+                dev.battery_pct,
+                ttl_term,
+                1.0,
+            )
+            scored.append((score, index))
+        scored.sort()
+        return [index for _, index in scored]
+
+    def mark_selected(self, indices: Sequence[int]) -> None:
+        for index in indices:
+            self._devices[index].times_selected += 1
+
+    def set_pending(self, indices: Sequence[int]) -> None:
+        for index in indices:
+            dev = self._devices[index]
+            if not dev.pending_upload:
+                dev.pending_upload = True
+                dev.pending_since = self.now
+
+    def pending_due(self, defer_s: float) -> List[int]:
+        due = []
+        for index, dev in enumerate(self._devices):
+            if not dev.pending_upload:
+                continue
+            if (
+                dev.state != IDLE
+                or self.now - dev.pending_since >= defer_s
+            ):
+                due.append(index)
+                dev.pending_upload = False
+        return due
+
+    def crowdsensing_energy(self) -> List[float]:
+        return [dev.energy_used_j for dev in self._devices]
+
+    def state_codes(self) -> List[int]:
+        return [dev.state for dev in self._devices]
+
+    def device_positions(self) -> List[Tuple[int, float, float]]:
+        return [(i, dev.x, dev.y) for i, dev in enumerate(self._devices)]
+
+    def snapshot(self) -> Dict[str, list]:
+        devs = self._devices
+        return {
+            "x": [d.x for d in devs],
+            "y": [d.y for d in devs],
+            "state": [d.state for d in devs],
+            "active_until": [d.active_until for d in devs],
+            "tail_deadline": [
+                d.tail_deadline if d.state == TAIL else 0.0 for d in devs
+            ],
+            "last_comm": [d.last_comm for d in devs],
+            "energy_used_j": [d.energy_used_j for d in devs],
+            "battery_pct": [d.battery_pct for d in devs],
+            "times_selected": [d.times_selected for d in devs],
+            "pending": [d.pending_upload for d in devs],
+            "promotions": [d.promotions for d in devs],
+        }
+
+
+class VectorDevicePlane(DevicePlane):
+    """numpy struct-of-arrays plane — the fast path.
+
+    Every array below is one column of the fleet; every method is one
+    (or a handful of) vectorized kernels over those columns.  The
+    scalar kernels in this module are the reference; keep expressions
+    textually parallel (see the module docstring's contract).
+    """
+
+    kind = "vector"
+
+    def __init__(self, spec: FleetSpec) -> None:
+        if np is None:  # pragma: no cover - exercised only without numpy
+            raise RuntimeError(
+                "numpy is required for the vectorized device plane; "
+                "install numpy or use make_plane(kind='object')"
+            )
+        super().__init__(spec)
+        state = spec.initial_state()
+        n = spec.devices
+        self.x = np.asarray(state["x"], dtype=np.float64)
+        self.y = np.asarray(state["y"], dtype=np.float64)
+        self.vx = np.asarray(state["vx"], dtype=np.float64)
+        self.vy = np.asarray(state["vy"], dtype=np.float64)
+        self.battery_pct = np.asarray(state["battery_pct"], dtype=np.float64)
+        self.equipped = np.asarray(state["equipped"], dtype=bool)
+        self.energy_used_j = np.zeros(n, dtype=np.float64)
+        self.times_selected = np.zeros(n, dtype=np.int64)
+        self.state = np.full(n, IDLE, dtype=np.int8)
+        self.active_until = np.zeros(n, dtype=np.float64)
+        self.tail_deadline = np.zeros(n, dtype=np.float64)
+        self.resume_deadline = np.zeros(n, dtype=np.float64)
+        self.fresh_tail = np.ones(n, dtype=bool)
+        self.last_comm = np.full(n, NEVER, dtype=np.float64)
+        self.pending_upload = np.zeros(n, dtype=bool)
+        self.pending_since = np.zeros(n, dtype=np.float64)
+        self.promotions = np.zeros(n, dtype=np.int64)
+        self._battery_step = spec.battery_capacity_j / 100.0
+        self._indices = np.arange(n, dtype=np.int64)
+        #: Cells currently known to the grid, for incremental feeding.
+        self._grid_cells: Optional[np.ndarray] = None
+
+    @property
+    def n(self) -> int:
+        return int(self.x.shape[0])
+
+    def advance_to(self, t: float) -> int:
+        if t < self.now:
+            raise ValueError(f"cannot advance backwards: now={self.now}, t={t}")
+        dt = t - self.now
+        tail_s = self.spec.profile.tail_s
+        transitions = 0
+
+        # (1) Transfer completions — vector twin of _scalar_advance.
+        done = (self.state == ACTIVE) & (self.active_until <= t)
+        if done.any():
+            completed_at = self.active_until[done]
+            self.last_comm[done] = completed_at
+            deadline = np.where(
+                self.fresh_tail[done], completed_at + tail_s,
+                self.resume_deadline[done],
+            )
+            self.fresh_tail[done] = True
+            expired = deadline <= t
+            self.tail_deadline[done] = deadline
+            new_state = np.where(expired, IDLE, TAIL).astype(np.int8)
+            self.state[done] = new_state
+            transitions += int(done.sum()) + int(expired.sum())
+
+        # (2) Tail expiries.
+        tail_over = (self.state == TAIL) & (self.tail_deadline <= t)
+        if tail_over.any():
+            self.state[tail_over] = IDLE
+            transitions += int(tail_over.sum())
+
+        # (3) Mobility (toroidal wrap, same % semantics as Python's).
+        if dt > 0.0 and self.n:
+            self.x = (self.x + self.vx * dt) % self.spec.width_m
+            self.y = (self.y + self.vy * dt) % self.spec.height_m
+            self._invalidate_grid()
+        self.now = t
+        self.transitions += transitions
+        return transitions
+
+    def tail_mask(self) -> "np.ndarray":
+        return self.state == TAIL
+
+    def tail_remaining(self) -> "np.ndarray":
+        in_tail = self.state == TAIL
+        remaining = np.where(
+            in_tail, np.maximum(0.0, self.tail_deadline - self.now), 0.0
+        )
+        return remaining
+
+    def qualification(
+        self, center_x: float, center_y: float, radius_m: float,
+        *, use_index: bool = True,
+    ) -> List[int]:
+        radius_sq = radius_m * radius_m
+        if use_index and self.n:
+            self.refresh_grid()
+            raw = list(
+                self.grid.candidates_in_circle(Point(center_x, center_y), radius_m)
+            )
+            if not raw:
+                return []
+            candidates = np.sort(np.asarray(raw, dtype=np.int64))
+            dx = self.x[candidates] - center_x
+            dy = self.y[candidates] - center_y
+            inside = (dx * dx + dy * dy <= radius_sq) & self.equipped[candidates]
+            return candidates[inside].tolist()
+        dx = self.x - center_x
+        dy = self.y - center_y
+        inside = (dx * dx + dy * dy <= radius_sq) & self.equipped
+        return self._indices[inside].tolist()
+
+    def begin_uploads(self, indices: Sequence[int], size_bytes: int,
+                      sample_energy_j: float = 0.0) -> None:
+        if len(indices) == 0:
+            return
+        idx = np.asarray(indices, dtype=np.int64)
+        profile = self.spec.profile
+        transfer_s = profile.transfer_time(size_bytes)
+        resets_tail = self.spec.tail_policy is TailPolicy.RESET
+        now = self.now
+        states = self.state[idx]
+        marginal = np.empty(idx.shape[0], dtype=np.float64)
+
+        # IDLE → cold upload (vector twin of _scalar_upload, IDLE arm).
+        cold = states == IDLE
+        if cold.any():
+            cold_idx = idx[cold]
+            marginal[cold] = (
+                profile.promotion_energy_j()
+                + profile.active_energy_j(transfer_s)
+                + profile.tail_energy_j()
+            )
+            self.promotions[cold_idx] += 1
+            self.state[cold_idx] = ACTIVE
+            self.active_until[cold_idx] = now + profile.promotion_s + transfer_s
+            self.fresh_tail[cold_idx] = True
+
+        # ACTIVE → piggyback extension.
+        piggy = states == ACTIVE
+        if piggy.any():
+            piggy_idx = idx[piggy]
+            marginal[piggy] = profile.active_energy_j(transfer_s)
+            self.active_until[piggy_idx] = self.active_until[piggy_idx] + transfer_s
+
+        # TAIL → transfer increment ± tail displacement/extension.
+        tail = states == TAIL
+        if tail.any():
+            tail_idx = idx[tail]
+            offset = profile.tail_s - (self.tail_deadline[tail_idx] - now)
+            tail_marginal = np.full(
+                tail_idx.shape[0], profile.active_energy_j(transfer_s)
+            )
+            if resets_tail:
+                tail_marginal += profile.tail_energy_between(0.0, profile.tail_s)
+                tail_marginal -= _tail_energy_between_vec(
+                    profile, offset, np.full_like(offset, profile.tail_s)
+                )
+                self.fresh_tail[tail_idx] = True
+            else:
+                tail_marginal -= _tail_energy_between_vec(
+                    profile, offset, offset + transfer_s
+                )
+                self.resume_deadline[tail_idx] = self.tail_deadline[tail_idx]
+                self.fresh_tail[tail_idx] = False
+            marginal[tail] = np.maximum(0.0, tail_marginal)
+            self.state[tail_idx] = ACTIVE
+            self.active_until[tail_idx] = now + transfer_s
+
+        charged = marginal + sample_energy_j
+        self.energy_used_j[idx] = self.energy_used_j[idx] + charged
+        self.battery_pct[idx] = self.battery_pct[idx] - charged / self._battery_step
+        self.uploads += int(idx.shape[0])
+        self.cold_uploads += int(cold.sum())
+        self.tail_uploads += int(tail.sum())
+
+    def rank(
+        self, candidates: Sequence[int], weights: SelectorWeights,
+        max_selections: Optional[int] = None,
+    ) -> List[int]:
+        if len(candidates) == 0:
+            return []
+        idx = np.asarray(candidates, dtype=np.int64)
+        eligible = eligibility_mask(
+            responsive=np.ones(idx.shape[0], dtype=bool),
+            energy_used_j=self.energy_used_j[idx],
+            energy_budget_j=self.spec.energy_budget_j,
+            battery_pct=self.battery_pct[idx],
+            critical_battery_pct=self.spec.critical_battery_pct,
+            times_selected=self.times_selected[idx],
+            max_selections=max_selections,
+        )
+        idx = idx[eligible]
+        if idx.shape[0] == 0:
+            return []
+        ttl_term = np.minimum(self.now - self.last_comm[idx], weights.ttl_cap_s)
+        scores = linear_score(
+            weights,
+            self.energy_used_j[idx],
+            self.times_selected[idx],
+            self.battery_pct[idx],
+            ttl_term,
+            1.0,
+        )
+        # Candidates arrive index-sorted, so a stable sort on score
+        # reproduces the object plane's (score, index) ordering.
+        order = np.argsort(scores, kind="stable")
+        return idx[order].tolist()
+
+    def mark_selected(self, indices: Sequence[int]) -> None:
+        if len(indices):
+            self.times_selected[np.asarray(indices, dtype=np.int64)] += 1
+
+    def set_pending(self, indices: Sequence[int]) -> None:
+        if len(indices) == 0:
+            return
+        idx = np.asarray(indices, dtype=np.int64)
+        fresh = idx[~self.pending_upload[idx]]
+        self.pending_upload[fresh] = True
+        self.pending_since[fresh] = self.now
+
+    def pending_due(self, defer_s: float) -> List[int]:
+        due = self.pending_upload & (
+            (self.state != IDLE)
+            | (self.now - self.pending_since >= defer_s)
+        )
+        if not due.any():
+            return []
+        self.pending_upload[due] = False
+        return self._indices[due].tolist()
+
+    def crowdsensing_energy(self) -> List[float]:
+        return self.energy_used_j.tolist()
+
+    def state_codes(self) -> List[int]:
+        return self.state.tolist()
+
+    def device_positions(self) -> List[Tuple[int, float, float]]:
+        return list(zip(self._indices.tolist(), self.x.tolist(), self.y.tolist()))
+
+    def refresh_grid(self) -> int:
+        """Incremental grid feed: only devices that changed cell move.
+
+        Cell coordinates are computed vectorized; the Python-level grid
+        update then touches only the (typically small) slice of the
+        fleet that crossed a 500 m cell border since the last refresh —
+        the same incremental discipline the registry's refresh path
+        uses, batched.
+        """
+        if self._grid_clean_at == self.now:
+            return 0
+        size = self.grid.cell_size_m
+        cx = np.floor_divide(self.x, size).astype(np.int64)
+        cy = np.floor_divide(self.y, size).astype(np.int64)
+        cells = cx * np.int64(1 << 32) + cy
+        if self._grid_cells is None:
+            moved_idx = self._indices
+        else:
+            moved_idx = self._indices[cells != self._grid_cells]
+        moved = self.grid.update_many(
+            (int(i), Point(self.x[i], self.y[i])) for i in moved_idx
+        )
+        self._grid_cells = cells
+        self._grid_clean_at = self.now
+        return moved
+
+    def snapshot(self) -> Dict[str, list]:
+        in_tail = self.state == TAIL
+        return {
+            "x": self.x.tolist(),
+            "y": self.y.tolist(),
+            "state": self.state.tolist(),
+            "active_until": self.active_until.tolist(),
+            "tail_deadline": np.where(in_tail, self.tail_deadline, 0.0).tolist(),
+            "last_comm": self.last_comm.tolist(),
+            "energy_used_j": self.energy_used_j.tolist(),
+            "battery_pct": self.battery_pct.tolist(),
+            "times_selected": self.times_selected.tolist(),
+            "pending": self.pending_upload.tolist(),
+            "promotions": self.promotions.tolist(),
+        }
+
+
+def _tail_energy_between_vec(
+    profile: RadioPowerProfile, start_s: "np.ndarray", end_s: "np.ndarray"
+) -> "np.ndarray":
+    """Vector twin of :meth:`RadioPowerProfile.tail_energy_between`
+    (flat tails only — FleetSpec rejects staged profiles)."""
+    start = np.maximum(0.0, np.minimum(start_s, profile.tail_s))
+    end = np.maximum(start, np.minimum(end_s, profile.tail_s))
+    return (profile.tail_mw - profile.idle_mw) / 1000.0 * (end - start)
+
+
+# ----------------------------------------------------------------------
+# Plane factory / runtime toggle
+# ----------------------------------------------------------------------
+
+PLANE_KINDS = ("object", "vector")
+
+
+def default_plane_kind() -> str:
+    """Resolve the runtime toggle: env var, else vector when possible."""
+    kind = os.environ.get(PLANE_ENV_VAR, "").strip().lower()
+    if kind:
+        if kind not in PLANE_KINDS:
+            raise ValueError(
+                f"{PLANE_ENV_VAR}={kind!r} invalid; expected one of {PLANE_KINDS}"
+            )
+        return kind
+    return "vector" if np is not None else "object"
+
+
+def make_plane(spec: FleetSpec, kind: Optional[str] = None) -> DevicePlane:
+    """Build a device plane; ``kind=None`` follows the runtime toggle."""
+    if kind is None:
+        kind = default_plane_kind()
+    if kind == "object":
+        return ObjectDevicePlane(spec)
+    if kind == "vector":
+        return VectorDevicePlane(spec)
+    raise ValueError(f"unknown plane kind {kind!r}; expected one of {PLANE_KINDS}")
+
+
+# ----------------------------------------------------------------------
+# Campaign driver (plane-agnostic; both planes run the same loop)
+# ----------------------------------------------------------------------
+
+
+def run_round(
+    plane: DevicePlane,
+    campaign: CampaignSpec,
+    round_index: int,
+    result: CampaignResult,
+    *,
+    use_index: bool = True,
+) -> int:
+    """One sensing round; returns the per-device operations performed.
+
+    Order per round: advance the plane to the round instant (batched
+    RRC transitions + mobility), flush pending uploads whose window
+    opened, then per task: qualification probe → four-factor ranking →
+    selection → mark pending (tail-aware) or upload immediately.
+    """
+    t = (round_index + 1) * campaign.round_period_s
+    transitions = plane.advance_to(t)
+    ops = plane.n + transitions  # mobility touch + RRC transitions
+
+    due = plane.pending_due(campaign.tail_defer_s)
+    if due:
+        plane.begin_uploads(due, campaign.upload_bytes, campaign.sample_energy_j)
+        ops += len(due)
+        result.uploads += len(due)
+
+    for task_index, task in enumerate(campaign.tasks):
+        qualified = plane.qualification(
+            task.center_x, task.center_y, task.radius_m, use_index=use_index
+        )
+        ranked = plane.rank(
+            qualified, campaign.weights, campaign.max_selections_per_epoch
+        )
+        ops += len(qualified)
+        if len(ranked) < task.devices_needed:
+            selected: Tuple[int, ...] = ()
+            result.unsatisfiable += 1
+        else:
+            selected = tuple(ranked[: task.devices_needed])
+            plane.mark_selected(selected)
+            result.selections += len(selected)
+            if campaign.tail_defer_s > 0.0:
+                plane.set_pending(selected)
+            else:
+                plane.begin_uploads(
+                    selected, campaign.upload_bytes, campaign.sample_energy_j
+                )
+                result.uploads += len(selected)
+            ops += len(selected)
+        result.selection_log.append(
+            SelectionRecord(
+                round_index=round_index,
+                task_index=task_index,
+                qualified=tuple(qualified),
+                selected=selected,
+            )
+        )
+    result.transitions += transitions
+    result.device_events += ops
+    return ops
+
+
+def run_campaign(
+    plane: DevicePlane,
+    campaign: CampaignSpec,
+    rounds: int,
+    *,
+    use_index: bool = True,
+) -> CampaignResult:
+    """Run ``rounds`` sensing rounds straight through (no simulator)."""
+    result = CampaignResult(rounds=rounds)
+    for round_index in range(rounds):
+        run_round(plane, campaign, round_index, result, use_index=use_index)
+    result.cold_uploads = plane.cold_uploads
+    result.tail_uploads = plane.tail_uploads
+    return result
+
+
+class PlaneDriver:
+    """Schedules a campaign's rounds through the discrete-event engine.
+
+    This is how the vectorized plane rides the existing simulator: one
+    heap event per round advances the entire fleet, and the per-device
+    operation counts are credited to
+    :meth:`repro.sim.engine.Simulator.note_device_events` so throughput
+    scorecards can compare batched tiers against object-per-device
+    tiers in the same unit (device operations per second).
+    """
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        plane: DevicePlane,
+        campaign: CampaignSpec,
+        rounds: int,
+        *,
+        use_index: bool = True,
+    ) -> None:
+        self._sim = sim
+        self.plane = plane
+        self.campaign = campaign
+        self.rounds = rounds
+        self.use_index = use_index
+        self.result = CampaignResult(rounds=rounds)
+        for round_index in range(rounds):
+            sim.schedule_at(
+                (round_index + 1) * campaign.round_period_s,
+                self._run_round,
+                round_index,
+            )
+
+    def _run_round(self, round_index: int) -> None:
+        ops = run_round(
+            self.plane,
+            self.campaign,
+            round_index,
+            self.result,
+            use_index=self.use_index,
+        )
+        self._sim.note_device_events(ops)
+        if round_index == self.rounds - 1:
+            self.result.cold_uploads = self.plane.cold_uploads
+            self.result.tail_uploads = self.plane.tail_uploads

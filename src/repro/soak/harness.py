@@ -50,6 +50,7 @@ from repro.sim.engine import Simulator
 from repro.sim.simlog import structured_log
 from repro.soak.invariants import (
     InvariantViolation,
+    check_plane_equivalence,
     check_wal_recovery,
     run_invariant_suite,
 )
@@ -176,6 +177,7 @@ class SoakHarness:
         sampling_period_s: float = 150.0,
         spatial_density: int = 3,
         check_replay: bool = True,
+        plane_crosscheck: bool = True,
         planted_bug: Optional[str] = None,
     ) -> None:
         if planted_bug is not None and planted_bug not in PLANTED_BUGS:
@@ -191,6 +193,7 @@ class SoakHarness:
         self.sampling_period_s = float(sampling_period_s)
         self.spatial_density = spatial_density
         self.check_replay = check_replay
+        self.plane_crosscheck = plane_crosscheck
         self.planted_bug = planted_bug
         self._generator = NemesisGenerator(master_seed)
         self._run_counter = 0
@@ -440,6 +443,12 @@ class SoakHarness:
                         },
                     )
                 )
+        # Cross-check the vectorized device plane against the scalar
+        # reference under this episode's seed.  Passing checks add no
+        # violations, so signatures and pass-rate baselines are
+        # untouched; a kernel regression turns every episode red.
+        if self.plane_crosscheck:
+            violations.extend(check_plane_equivalence(sim_seed))
         return EpisodeResult(
             episode=episode,
             sim_seed=sim_seed,

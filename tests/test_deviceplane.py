@@ -1,0 +1,410 @@
+"""Boundary semantics of the struct-of-arrays device plane.
+
+Every test here runs against *both* plane implementations (object
+reference and numpy vector), pinning the batched RRC transition
+semantics at their edges: tail expiry exactly on a tick, a transfer
+completion and a tail expiry landing in the same batched step, the
+zero-device fleet, and the marginal-energy arithmetic cross-validated
+against the real per-device :class:`repro.cellular.rrc.RadioModem`.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.cellular.power import LTE_POWER_PROFILE, THREEG_POWER_PROFILE
+from repro.cellular.rrc import RadioModem, TailPolicy
+from repro.cellular.packets import TrafficCategory
+from repro.core.deviceplane import (
+    ACTIVE,
+    IDLE,
+    NEVER,
+    PLANE_ENV_VAR,
+    TAIL,
+    CampaignSpec,
+    FleetSpec,
+    PlaneDriver,
+    SensingTask,
+    default_campaign,
+    default_plane_kind,
+    make_plane,
+    run_campaign,
+)
+from repro.sim.engine import Simulator
+
+PLANES = ("object", "vector")
+PROFILE = LTE_POWER_PROFILE
+UPLOAD_BYTES = 1024
+TRANSFER_S = PROFILE.transfer_time(UPLOAD_BYTES)
+
+
+def small_spec(devices: int = 4, **overrides) -> FleetSpec:
+    defaults = dict(
+        devices=devices,
+        seed=9,
+        width_m=1000.0,
+        height_m=1000.0,
+        sensor_fraction=1.0,
+    )
+    defaults.update(overrides)
+    return FleetSpec(**defaults)
+
+
+class TestFleetSpec:
+    def test_rejects_negative_devices(self):
+        with pytest.raises(ValueError):
+            FleetSpec(devices=-1)
+
+    def test_rejects_bad_dimensions(self):
+        with pytest.raises(ValueError):
+            FleetSpec(devices=1, width_m=0.0)
+
+    def test_rejects_bad_sensor_fraction(self):
+        with pytest.raises(ValueError):
+            FleetSpec(devices=1, sensor_fraction=1.5)
+
+    def test_rejects_staged_tail_profiles(self):
+        # The plane models flat tails only; 3G's staged tail (FACH/DCH)
+        # must stay on the object-per-device modem.
+        with pytest.raises(ValueError):
+            FleetSpec(devices=1, profile=THREEG_POWER_PROFILE)
+
+    def test_device_ids_sort_like_indices(self):
+        spec = FleetSpec(devices=120)
+        ids = [spec.device_id(i) for i in range(spec.devices)]
+        assert ids == sorted(ids)
+        assert len(set(ids)) == spec.devices
+
+    def test_initial_state_is_deterministic(self):
+        a = FleetSpec(devices=20, seed=3).initial_state()
+        b = FleetSpec(devices=20, seed=3).initial_state()
+        assert a == b
+        c = FleetSpec(devices=20, seed=4).initial_state()
+        assert a != c
+
+
+class TestMakePlane:
+    def test_explicit_kinds(self):
+        spec = small_spec()
+        assert make_plane(spec, kind="object").kind == "object"
+        assert make_plane(spec, kind="vector").kind == "vector"
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            make_plane(small_spec(), kind="quantum")
+
+    def test_env_toggle(self, monkeypatch):
+        monkeypatch.setenv(PLANE_ENV_VAR, "object")
+        assert default_plane_kind() == "object"
+        assert make_plane(small_spec()).kind == "object"
+        monkeypatch.setenv(PLANE_ENV_VAR, "vector")
+        assert make_plane(small_spec()).kind == "vector"
+
+    def test_env_toggle_invalid_value(self, monkeypatch):
+        monkeypatch.setenv(PLANE_ENV_VAR, "both")
+        with pytest.raises(ValueError):
+            default_plane_kind()
+
+    def test_default_prefers_vector(self, monkeypatch):
+        monkeypatch.delenv(PLANE_ENV_VAR, raising=False)
+        assert default_plane_kind() == "vector"
+
+
+@pytest.mark.parametrize("kind", PLANES)
+class TestBatchedTransitions:
+    def test_cold_upload_enters_busy_then_tail(self, kind):
+        plane = make_plane(small_spec(), kind=kind)
+        plane.begin_uploads([0], UPLOAD_BYTES)
+        assert plane.state_codes()[0] == ACTIVE
+        busy_until = PROFILE.promotion_s + TRANSFER_S
+        plane.advance_to(busy_until + 0.001)
+        assert plane.state_codes()[0] == TAIL
+        remaining = plane.tail_remaining()[0]
+        assert 0.0 < remaining < PROFILE.tail_s
+
+    def test_tail_expiry_exactly_on_tick(self, kind):
+        # The deadline comparison is <=: a batch step landing exactly
+        # on the tail deadline demotes the radio on that very tick.
+        plane = make_plane(small_spec(), kind=kind)
+        plane.begin_uploads([0], UPLOAD_BYTES)
+        busy_until = PROFILE.promotion_s + TRANSFER_S
+        plane.advance_to(busy_until)  # transfer completes exactly now
+        assert plane.state_codes()[0] == TAIL
+        deadline = busy_until + PROFILE.tail_s
+        # One epsilon before the deadline: still in tail.
+        plane.advance_to(deadline - 1e-9)
+        assert plane.state_codes()[0] == TAIL
+        transitions = plane.advance_to(deadline)  # exactly on the tick
+        assert plane.state_codes()[0] == IDLE
+        assert transitions == 1
+        assert plane.tail_remaining()[0] == 0.0
+
+    def test_promote_and_demote_in_one_batch(self, kind):
+        # Device 0's transfer completes (promote to TAIL) in the same
+        # advance_to that expires device 1's tail (demote to IDLE).
+        plane = make_plane(small_spec(), kind=kind)
+        plane.begin_uploads([1], UPLOAD_BYTES)
+        busy_1 = PROFILE.promotion_s + TRANSFER_S
+        plane.advance_to(busy_1)  # device 1 enters its tail
+        assert plane.state_codes()[1] == TAIL
+        deadline_1 = busy_1 + PROFILE.tail_s
+        plane.begin_uploads([0], UPLOAD_BYTES)
+        busy_0 = plane.now + PROFILE.promotion_s + TRANSFER_S
+        assert busy_0 < deadline_1
+        transitions = plane.advance_to(deadline_1)
+        states = plane.state_codes()
+        assert states[0] == TAIL and states[1] == IDLE
+        assert transitions == 2
+
+    def test_transfer_and_tail_both_elapse_in_one_step(self, kind):
+        # A batch step that jumps past busy-end AND tail-end counts
+        # both transitions and lands the radio in IDLE directly.
+        plane = make_plane(small_spec(), kind=kind)
+        plane.begin_uploads([0], UPLOAD_BYTES)
+        busy_until = PROFILE.promotion_s + TRANSFER_S
+        transitions = plane.advance_to(busy_until + PROFILE.tail_s + 5.0)
+        assert plane.state_codes()[0] == IDLE
+        assert transitions == 2
+        # last_comm is stamped at the transfer completion, not at the
+        # (later) observation instant.
+        assert plane.snapshot()["last_comm"][0] == busy_until
+
+    def test_advance_backwards_raises(self, kind):
+        plane = make_plane(small_spec(), kind=kind)
+        plane.advance_to(10.0)
+        with pytest.raises(ValueError):
+            plane.advance_to(9.0)
+
+    def test_advance_to_now_is_allowed(self, kind):
+        plane = make_plane(small_spec(), kind=kind)
+        plane.advance_to(10.0)
+        plane.advance_to(10.0)
+        assert plane.now == 10.0
+
+    def test_mobility_wraps_toroidally(self, kind):
+        spec = small_spec(devices=16)
+        plane = make_plane(spec, kind=kind)
+        plane.advance_to(10_000.0)  # far enough that everything wrapped
+        for _, x, y in plane.device_positions():
+            assert 0.0 <= x < spec.width_m
+            assert 0.0 <= y < spec.height_m
+
+    def test_last_comm_starts_never(self, kind):
+        plane = make_plane(small_spec(), kind=kind)
+        assert all(v == NEVER for v in plane.snapshot()["last_comm"])
+
+
+@pytest.mark.parametrize("kind", PLANES)
+class TestZeroDeviceFleet:
+    def test_all_operations_are_noops(self, kind):
+        plane = make_plane(small_spec(devices=0), kind=kind)
+        assert plane.n == 0
+        assert plane.advance_to(60.0) == 0
+        assert list(plane.tail_mask()) == []
+        assert plane.qualification(0.0, 0.0, 100.0) == []
+        assert plane.qualification(0.0, 0.0, 100.0, use_index=False) == []
+        assert plane.rank([], CampaignSpec(
+            tasks=(SensingTask(0.0, 0.0, 1.0, 1),)
+        ).weights) == []
+        plane.begin_uploads([], UPLOAD_BYTES)
+        assert plane.pending_due(0.0) == []
+        assert plane.total_crowdsensing_energy_j() == 0.0
+
+    def test_campaign_is_all_unsatisfiable(self, kind):
+        spec = small_spec(devices=0)
+        result = run_campaign(
+            make_plane(spec, kind=kind), default_campaign(spec), rounds=3
+        )
+        assert result.unsatisfiable == 3 * 4
+        assert all(r.selected == () for r in result.selection_log)
+        assert result.uploads == 0
+
+
+@pytest.mark.parametrize("kind", PLANES)
+class TestModemCrossValidation:
+    """The plane's closed-form marginal energies must match what the
+    real event-driven modem charges for the same upload schedule."""
+
+    def _modem_charges(self, schedule):
+        sim = Simulator(seed=0)
+        modem = RadioModem(
+            sim, PROFILE, "dut", tail_policy=TailPolicy.NO_RESET
+        )
+        charges = []
+        modem.add_energy_listener(lambda cat, j, reason: charges.append(j))
+        for at in schedule:
+            sim.run(until=at)
+            modem.transmit(UPLOAD_BYTES, TrafficCategory.CROWDSENSING)
+        sim.run(until=schedule[-1] + 60.0)
+        return charges
+
+    def _plane_charges(self, kind, schedule):
+        plane = make_plane(
+            small_spec(devices=1, tail_policy=TailPolicy.NO_RESET), kind=kind
+        )
+        charges = []
+        for at in schedule:
+            plane.advance_to(at)
+            before = plane.crowdsensing_energy()[0]
+            plane.begin_uploads([0], UPLOAD_BYTES)
+            charges.append(plane.crowdsensing_energy()[0] - before)
+        return charges
+
+    @pytest.mark.parametrize(
+        "schedule",
+        [
+            pytest.param([0.0], id="cold"),
+            pytest.param([0.0, 5.0], id="cold-then-tail-resume"),
+            pytest.param([0.0, 0.1], id="cold-then-active-piggyback"),
+            pytest.param([0.0, 5.0, 8.0], id="two-tail-resumes"),
+            pytest.param([0.0, 40.0], id="cold-twice"),
+        ],
+    )
+    def test_marginal_energy_matches_modem(self, kind, schedule):
+        modem = self._modem_charges(schedule)
+        plane = self._plane_charges(kind, schedule)
+        assert len(modem) == len(plane)
+        for expected, actual in zip(modem, plane):
+            assert actual == pytest.approx(expected, rel=1e-12, abs=1e-12)
+
+    def test_reset_policy_pays_tail_extension(self, kind):
+        # Under RESET a tail upload restarts the 11.5 s timer, so its
+        # marginal exceeds the NO_RESET marginal at the same instant.
+        def charge(policy):
+            plane = make_plane(
+                small_spec(devices=1, tail_policy=policy), kind=kind
+            )
+            plane.begin_uploads([0], UPLOAD_BYTES)
+            plane.advance_to(PROFILE.promotion_s + TRANSFER_S + 5.0)
+            assert plane.state_codes()[0] == TAIL
+            before = plane.crowdsensing_energy()[0]
+            plane.begin_uploads([0], UPLOAD_BYTES)
+            return plane.crowdsensing_energy()[0] - before
+
+        assert charge(TailPolicy.RESET) > charge(TailPolicy.NO_RESET)
+
+
+@pytest.mark.parametrize("kind", PLANES)
+class TestPendingUploads:
+    def test_pending_waits_for_defer_window(self, kind):
+        plane = make_plane(small_spec(), kind=kind)
+        plane.set_pending([0])
+        assert plane.pending_due(120.0) == []  # idle, patience not up
+        plane.advance_to(119.0)
+        assert plane.pending_due(120.0) == []
+        plane.advance_to(120.0)
+        assert plane.pending_due(120.0) == [0]  # patience boundary is >=
+        assert plane.pending_due(120.0) == []  # flag cleared
+
+    def test_open_tail_flushes_immediately(self, kind):
+        plane = make_plane(small_spec(), kind=kind)
+        plane.begin_uploads([0], UPLOAD_BYTES)
+        plane.advance_to(PROFILE.promotion_s + TRANSFER_S + 1.0)
+        assert plane.state_codes()[0] == TAIL
+        plane.set_pending([0, 1])
+        assert plane.pending_due(120.0) == [0]  # tail open; 1 still waits
+
+    def test_set_pending_keeps_earliest_timestamp(self, kind):
+        plane = make_plane(small_spec(), kind=kind)
+        plane.set_pending([0])
+        plane.advance_to(100.0)
+        plane.set_pending([0])  # re-flagging must not reset the clock
+        plane.advance_to(120.0)
+        assert plane.pending_due(120.0) == [0]
+
+
+@pytest.mark.parametrize("kind", PLANES)
+class TestQualificationAndRanking:
+    def test_unequipped_devices_never_qualify(self, kind):
+        spec = small_spec(devices=30, sensor_fraction=0.0)
+        plane = make_plane(spec, kind=kind)
+        assert plane.qualification(500.0, 500.0, 1e6) == []
+
+    def test_indexed_matches_scan(self, kind):
+        plane = make_plane(small_spec(devices=60), kind=kind)
+        plane.advance_to(300.0)
+        for radius in (0.0, 150.0, 400.0, 2000.0):
+            indexed = plane.qualification(500.0, 500.0, radius)
+            scanned = plane.qualification(500.0, 500.0, radius, use_index=False)
+            assert list(indexed) == list(scanned)
+
+    def test_rank_prefers_less_selected_devices(self, kind):
+        spec = small_spec(devices=3)
+        plane = make_plane(spec, kind=kind)
+        weights = CampaignSpec(tasks=(SensingTask(0, 0, 1, 1),)).weights
+        baseline = plane.rank([0, 1, 2], weights)
+        plane.mark_selected([baseline[0]])
+        reranked = plane.rank([0, 1, 2], weights)
+        assert reranked[-1] == baseline[0]
+
+    def test_rank_respects_selection_cap(self, kind):
+        plane = make_plane(small_spec(devices=2), kind=kind)
+        weights = CampaignSpec(tasks=(SensingTask(0, 0, 1, 1),)).weights
+        plane.mark_selected([0])
+        plane.mark_selected([0])
+        assert 0 not in plane.rank([0, 1], weights, max_selections=2)
+        assert 0 in plane.rank([0, 1], weights, max_selections=3)
+
+    def test_critical_battery_is_ineligible(self, kind):
+        spec = small_spec(devices=1, critical_battery_pct=101.0)
+        plane = make_plane(spec, kind=kind)
+        weights = CampaignSpec(tasks=(SensingTask(0, 0, 1, 1),)).weights
+        assert plane.rank([0], weights) == []
+
+
+class TestPlaneDriver:
+    @pytest.mark.parametrize("kind", PLANES)
+    def test_driver_credits_device_events(self, kind):
+        spec = small_spec(devices=40)
+        campaign = default_campaign(spec, density=2)
+        sim = Simulator(seed=1)
+        driver = PlaneDriver(
+            sim, make_plane(spec, kind=kind), campaign, rounds=6
+        )
+        sim.run()
+        assert sim.events_processed == 6  # one heap event per round
+        assert sim.device_events == driver.result.device_events
+        assert sim.device_events >= 6 * spec.devices  # ≥ mobility work
+
+    def test_driver_matches_direct_campaign(self):
+        spec = small_spec(devices=40)
+        campaign = default_campaign(spec, density=2)
+        sim = Simulator(seed=1)
+        driver = PlaneDriver(sim, make_plane(spec, "vector"), campaign, rounds=6)
+        sim.run()
+        direct = run_campaign(make_plane(spec, "vector"), campaign, rounds=6)
+        assert driver.result.selection_log == direct.selection_log
+        assert driver.result.device_events == direct.device_events
+        assert driver.result.cold_uploads == direct.cold_uploads
+        assert driver.result.tail_uploads == direct.tail_uploads
+
+    def test_note_device_events_rejects_negative(self):
+        sim = Simulator(seed=0)
+        with pytest.raises(ValueError):
+            sim.note_device_events(-1)
+        sim.note_device_events(0)
+        sim.note_device_events(5)
+        assert sim.device_events == 5
+
+
+class TestCampaignAccounting:
+    @pytest.mark.parametrize("kind", PLANES)
+    def test_energy_total_is_fsum_of_ledger(self, kind):
+        spec = small_spec(devices=30)
+        plane = make_plane(spec, kind=kind)
+        run_campaign(plane, default_campaign(spec, density=2), rounds=10)
+        ledger = plane.crowdsensing_energy()
+        assert plane.total_crowdsensing_energy_j() == math.fsum(ledger)
+        assert plane.total_crowdsensing_energy_j() > 0.0
+
+    @pytest.mark.parametrize("kind", PLANES)
+    def test_upload_taxonomy_sums(self, kind):
+        spec = small_spec(devices=30)
+        plane = make_plane(spec, kind=kind)
+        result = run_campaign(plane, default_campaign(spec, density=2), rounds=10)
+        assert result.uploads == plane.uploads
+        assert plane.cold_uploads + plane.tail_uploads <= plane.uploads
+        counts = result.selected_counts()
+        assert sum(counts.values()) == result.selections

@@ -1,0 +1,215 @@
+"""Property tests: the vector plane is bit-identical to the object plane.
+
+The contract (``docs/deviceplane.md``): for any fleet, campaign, and
+tail policy, the numpy struct-of-arrays plane and the scalar
+object-per-device plane produce *exactly equal* selection logs,
+per-device state snapshots, and ``math.fsum`` energy totals — ``==``
+on floats, never ``approx``.  This is the same discipline PR 4
+established for the spatial index (indexed == scanned, bit for bit),
+extended across the whole device hot path.
+
+Campaign shapes are drawn to cover all three upload arms: long rounds
+exercise cold uploads, short rounds (under the 11.5 s LTE tail)
+exercise tail-resume, and sub-second rounds over tiny fleets exercise
+active-window piggybacking.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cellular.rrc import TailPolicy
+from repro.core.config import SelectorWeights
+from repro.core.datastores import DeviceRecord
+from repro.core.deviceplane import (
+    NEVER,
+    CampaignSpec,
+    FleetSpec,
+    PlaneDriver,
+    SensingTask,
+    make_plane,
+    run_campaign,
+)
+from repro.core.selector import DeviceSelector
+from repro.sim.engine import Simulator
+
+#: Round periods chosen to hit cold (60 s), tail-resume (5 s), and
+#: active-piggyback (0.25 s, paired with a long transfer) upload arms.
+ROUND_PERIODS = (60.0, 5.0, 0.25)
+
+fleet_specs = st.builds(
+    FleetSpec,
+    devices=st.integers(min_value=0, max_value=60),
+    seed=st.integers(min_value=0, max_value=2**16),
+    width_m=st.sampled_from((800.0, 2000.0, 9000.0)),
+    height_m=st.sampled_from((800.0, 2000.0)),
+    sensor_fraction=st.sampled_from((0.0, 0.7, 1.0)),
+    tail_policy=st.sampled_from((TailPolicy.NO_RESET, TailPolicy.RESET)),
+)
+
+campaign_specs = st.builds(
+    CampaignSpec,
+    tasks=st.lists(
+        st.builds(
+            SensingTask,
+            center_x=st.sampled_from((200.0, 700.0, 1500.0)),
+            center_y=st.sampled_from((200.0, 700.0)),
+            radius_m=st.sampled_from((0.0, 300.0, 900.0, 3000.0)),
+            devices_needed=st.integers(min_value=1, max_value=6),
+        ),
+        min_size=1,
+        max_size=3,
+    ).map(tuple),
+    round_period_s=st.sampled_from(ROUND_PERIODS),
+    upload_bytes=st.sampled_from((256, 1024, 250_000)),
+    tail_defer_s=st.sampled_from((0.0, 60.0, 120.0)),
+    max_selections_per_epoch=st.sampled_from((None, 2, 5)),
+)
+
+
+def both_planes(spec: FleetSpec):
+    return make_plane(spec, kind="object"), make_plane(spec, kind="vector")
+
+
+@given(spec=fleet_specs, campaign=campaign_specs,
+       rounds=st.integers(min_value=1, max_value=25))
+@settings(max_examples=60, deadline=None)
+def test_campaigns_are_bit_identical(spec, campaign, rounds):
+    obj_plane, vec_plane = both_planes(spec)
+    obj = run_campaign(obj_plane, campaign, rounds)
+    vec = run_campaign(vec_plane, campaign, rounds)
+
+    assert obj.selection_log == vec.selection_log
+    assert obj.device_events == vec.device_events
+    assert obj.transitions == vec.transitions
+    assert (obj.uploads, obj.cold_uploads, obj.tail_uploads) == (
+        vec.uploads, vec.cold_uploads, vec.tail_uploads
+    )
+    assert obj.unsatisfiable == vec.unsatisfiable
+
+    obj_snap, vec_snap = obj_plane.snapshot(), vec_plane.snapshot()
+    assert set(obj_snap) == set(vec_snap)
+    for key in obj_snap:
+        assert obj_snap[key] == vec_snap[key], key  # exact, no tolerance
+
+    # Energy totals: fsum over identical per-device ledgers.
+    assert (
+        obj_plane.total_crowdsensing_energy_j()
+        == vec_plane.total_crowdsensing_energy_j()
+    )
+
+
+@given(spec=fleet_specs, campaign=campaign_specs,
+       rounds=st.integers(min_value=0, max_value=12),
+       radius=st.sampled_from((0.0, 250.0, 800.0, 5000.0)),
+       cx=st.floats(min_value=0.0, max_value=2000.0),
+       cy=st.floats(min_value=0.0, max_value=2000.0))
+@settings(max_examples=60, deadline=None)
+def test_indexed_equals_scanned_on_both_planes(
+    spec, campaign, rounds, radius, cx, cy
+):
+    # PR 4's pattern, lifted to the plane: the grid-indexed
+    # qualification probe must equal the brute-force scan exactly, on
+    # either plane, at any instant of a campaign.
+    for plane in both_planes(spec):
+        run_campaign(plane, campaign, rounds)
+        indexed = plane.qualification(cx, cy, radius, use_index=True)
+        scanned = plane.qualification(cx, cy, radius, use_index=False)
+        assert list(indexed) == list(scanned)
+
+
+@given(spec=fleet_specs, campaign=campaign_specs,
+       rounds=st.integers(min_value=1, max_value=10))
+@settings(max_examples=40, deadline=None)
+def test_planes_agree_between_rounds_not_just_at_the_end(
+    spec, campaign, rounds
+):
+    # Lockstep variant: compare snapshots after *every* round, so a
+    # transient divergence cannot cancel out by the final round.
+    from repro.core.deviceplane import CampaignResult, run_round
+
+    obj_plane, vec_plane = both_planes(spec)
+    obj_result, vec_result = CampaignResult(rounds), CampaignResult(rounds)
+    for round_index in range(rounds):
+        run_round(obj_plane, campaign, round_index, obj_result)
+        run_round(vec_plane, campaign, round_index, vec_result)
+        assert obj_plane.snapshot() == vec_plane.snapshot(), round_index
+        assert obj_result.selection_log == vec_result.selection_log
+
+
+@given(spec=fleet_specs.filter(lambda s: s.devices > 0),
+       rounds=st.integers(min_value=1, max_value=8),
+       seed=st.integers(min_value=0, max_value=100))
+@settings(max_examples=30, deadline=None)
+def test_driver_equals_direct_campaign(spec, rounds, seed):
+    # Riding the discrete-event engine (one heap event per round) must
+    # change nothing about the outcome versus the straight-line loop.
+    campaign = CampaignSpec(
+        tasks=(SensingTask(spec.width_m / 2, spec.height_m / 2, 900.0, 2),),
+        round_period_s=5.0,
+        tail_defer_s=0.0,
+    )
+    sim = Simulator(seed=seed)
+    driver = PlaneDriver(sim, make_plane(spec, "vector"), campaign, rounds)
+    sim.run()
+    direct = run_campaign(make_plane(spec, "vector"), campaign, rounds)
+    assert driver.result.selection_log == direct.selection_log
+    assert driver.result.device_events == direct.device_events
+    assert sim.device_events == direct.device_events
+
+
+@given(spec=fleet_specs.filter(lambda s: s.devices > 0),
+       campaign=campaign_specs,
+       rounds=st.integers(min_value=1, max_value=10))
+@settings(max_examples=40, deadline=None)
+def test_plane_ranking_matches_device_selector(spec, campaign, rounds):
+    # Bridge to the production selector: rebuild each plane device as a
+    # DeviceRecord and rank through DeviceSelector.  Zero-padded string
+    # ids sort like indices, so the (score, id) order must equal the
+    # plane's (score, index) order exactly.
+    plane = make_plane(spec, kind="vector")
+    run_campaign(plane, campaign, rounds)
+    snap = plane.snapshot()
+    records = []
+    for i in range(spec.devices):
+        records.append(
+            DeviceRecord(
+                device_id=spec.device_id(i),
+                imei_hash=f"h{i}",
+                device_model="soa",
+                energy_budget_j=spec.energy_budget_j,
+                critical_battery_pct=spec.critical_battery_pct,
+                battery_pct=snap["battery_pct"][i],
+                energy_used_j=snap["energy_used_j"][i],
+                times_selected=snap["times_selected"][i],
+                last_comm_time=(
+                    None if snap["last_comm"][i] == NEVER
+                    else snap["last_comm"][i]
+                ),
+            )
+        )
+    selector = DeviceSelector(
+        campaign.weights,
+        max_selections_per_epoch=campaign.max_selections_per_epoch,
+    )
+    expected = [
+        s.device_id for s in selector.rank(records, plane.now)
+    ]
+    actual = [
+        spec.device_id(i)
+        for i in plane.rank(
+            list(range(spec.devices)),
+            campaign.weights,
+            campaign.max_selections_per_epoch,
+        )
+    ]
+    assert actual == expected
+
+
+@given(seed=st.integers(min_value=0, max_value=2**20))
+@settings(max_examples=25, deadline=None)
+def test_soak_invariant_is_quiet_on_healthy_planes(seed):
+    from repro.soak.invariants import check_plane_equivalence
+
+    assert check_plane_equivalence(seed, devices=24, rounds=8) == []
