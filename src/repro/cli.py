@@ -364,6 +364,88 @@ def build_parser() -> argparse.ArgumentParser:
         "--rounds", type=int, default=40, help="sensing rounds (default 40)"
     )
     plane_check.set_defaults(func=_cmd_plane_check)
+
+    serve_parser = subparsers.add_parser(
+        "serve",
+        help="run the service front over stdin/stdout: one JSON request "
+        "per input line, one JSON response per output line",
+    )
+    serve_parser.add_argument(
+        "--seed", type=int, default=7, help="backend world seed (default 7)"
+    )
+    serve_parser.add_argument(
+        "--consumers", type=int, default=4, help="consumer coroutines (default 4)"
+    )
+    serve_parser.add_argument(
+        "--slots", type=int, default=8, help="concurrency slots (default 8)"
+    )
+    serve_parser.add_argument(
+        "--queue-capacity", type=int, default=256, help="request queue bound"
+    )
+    serve_parser.add_argument(
+        "--service-time",
+        type=float,
+        default=0.0,
+        help="modelled per-request service time in seconds (default 0)",
+    )
+    serve_parser.set_defaults(func=_cmd_serve)
+
+    loadgen_parser = subparsers.add_parser(
+        "loadgen",
+        help="drive the service front with the seeded load generator "
+        "and print the latency/RPS report",
+    )
+    loadgen_parser.add_argument(
+        "--seed", type=int, default=7, help="schedule seed (default 7)"
+    )
+    loadgen_parser.add_argument(
+        "--requests", type=int, default=200, help="requests to send (default 200)"
+    )
+    loadgen_parser.add_argument(
+        "--mode",
+        default="open",
+        choices=["open", "closed"],
+        help="open loop (arrival pressure) or closed loop (throughput)",
+    )
+    loadgen_parser.add_argument(
+        "--rate", type=float, default=200.0, help="open-loop arrival rate in rps"
+    )
+    loadgen_parser.add_argument(
+        "--concurrency", type=int, default=4, help="closed-loop worker count"
+    )
+    loadgen_parser.add_argument(
+        "--consumers", type=int, default=4, help="service consumer coroutines"
+    )
+    loadgen_parser.add_argument(
+        "--slots", type=int, default=8, help="service concurrency slots"
+    )
+    loadgen_parser.add_argument(
+        "--service-time",
+        type=float,
+        default=0.0,
+        help="modelled per-request service time in seconds (default 0)",
+    )
+    loadgen_parser.add_argument(
+        "--time-scale",
+        type=float,
+        default=1.0,
+        help="compress scheduled offsets and retry waits by this factor",
+    )
+    loadgen_parser.add_argument(
+        "--retry",
+        action="store_true",
+        help="retry shed requests per RetryPolicy, honouring Retry-After",
+    )
+    loadgen_parser.add_argument(
+        "--queue-capacity", type=int, default=64, help="admission queue capacity"
+    )
+    loadgen_parser.add_argument(
+        "--service-rate",
+        type=float,
+        default=50.0,
+        help="admission fluid-drain rate in requests/s",
+    )
+    loadgen_parser.set_defaults(func=_cmd_loadgen)
     return parser
 
 
@@ -528,6 +610,120 @@ def _cmd_plane_check(args: argparse.Namespace) -> int:
         f"planes bit-identical: seed {args.seed}, {args.devices} devices, "
         f"{args.rounds} rounds"
     )
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Newline-delimited-JSON transport for the service front.
+
+    Each stdin line is ``{"kind": ..., "payload": {...}}``; each stdout
+    line is the matching :class:`~repro.service.api.ServiceResponse`
+    as JSON.  EOF drains the queue and prints the scorecard to stderr —
+    a real request/response loop without needing a socket stack.
+    """
+    import asyncio
+    import json
+
+    from repro.core.config import OverloadPolicy
+    from repro.service import (
+        AppServerBackend,
+        RequestKind,
+        SenseAidService,
+        ServiceConfig,
+        build_world,
+    )
+
+    kinds = {kind.value: kind for kind in RequestKind}
+
+    async def serve() -> dict:
+        sim, _, cas = build_world(seed=args.seed)
+        backend = AppServerBackend(sim, cas)
+        config = ServiceConfig(
+            queue_capacity=args.queue_capacity,
+            consumers=args.consumers,
+            concurrency_slots=args.slots,
+            service_time_s=args.service_time,
+            overload=OverloadPolicy(),
+        )
+        service = SenseAidService(backend.handle, config)
+        pending = []
+        async with service:
+            for line in sys.stdin:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    raw = json.loads(line)
+                    kind = kinds[str(raw["kind"])]
+                except (json.JSONDecodeError, KeyError, TypeError) as exc:
+                    print(
+                        json.dumps({"status": "rejected", "error": str(exc)}),
+                        flush=True,
+                    )
+                    continue
+
+                async def roundtrip(kind=kind, payload=raw.get("payload")):
+                    response = await service.submit(kind, payload)
+                    print(json.dumps(response.as_dict()), flush=True)
+
+                pending.append(asyncio.ensure_future(roundtrip()))
+            if pending:
+                await asyncio.gather(*pending)
+        service.ledger.assert_accounted()
+        return service.scorecard()
+
+    scorecard = asyncio.run(serve())
+    print(json.dumps(scorecard, indent=2), file=sys.stderr)
+    return 0
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    import asyncio
+    import json
+
+    from repro.core.config import OverloadPolicy, RetryPolicy
+    from repro.service import (
+        AppServerBackend,
+        LoadGenerator,
+        LoadSpec,
+        SenseAidService,
+        ServiceConfig,
+        build_world,
+    )
+
+    spec = LoadSpec(
+        seed=args.seed,
+        n_requests=args.requests,
+        mode=args.mode,
+        rate_rps=args.rate,
+        concurrency=args.concurrency,
+    )
+    generator = LoadGenerator(
+        spec,
+        retry_policy=RetryPolicy() if args.retry else None,
+        time_scale=args.time_scale,
+    )
+    config = ServiceConfig(
+        consumers=args.consumers,
+        concurrency_slots=args.slots,
+        service_time_s=args.service_time,
+        overload=OverloadPolicy(
+            queue_capacity=args.queue_capacity,
+            service_rate_per_s=args.service_rate,
+        ),
+    )
+
+    async def drive():
+        sim, _, cas = build_world(seed=args.seed)
+        backend = AppServerBackend(sim, cas)
+        service = SenseAidService(backend.handle, config)
+        async with service:
+            report = await generator.run(service)
+        service.ledger.assert_accounted()
+        return report, service.scorecard()
+
+    report, scorecard = asyncio.run(drive())
+    print(json.dumps({"report": report.as_dict(), "service": scorecard}, indent=2))
     return 0
 
 

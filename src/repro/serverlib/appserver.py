@@ -32,6 +32,13 @@ class CrowdsensingAppServer:
         self._readings: List[SensedDataPoint] = []
         self._readings_by_task: Dict[int, List[SensedDataPoint]] = defaultdict(list)
         self._task_ids: List[int] = []
+        #: Deliveries that arrived for a task this app no longer (or
+        #: never) owned — e.g. in flight when ``delete_task`` ran.
+        self.late_deliveries_dropped = 0
+        #: ``on_data`` callback invocations that raised; the reading is
+        #: still recorded — an application bug must not corrupt the
+        #: middleware's data store or the delivery path.
+        self.callback_errors = 0
 
     # ------------------------------------------------------------------
     # The paper's four-call application API
@@ -77,17 +84,40 @@ class CrowdsensingAppServer:
         return self._senseaid.update_task(task_id, **changes)
 
     def delete_task(self, task_id: int) -> None:
-        """Remove one of this application's tasks from the system."""
+        """Remove one of this application's tasks from the system.
+
+        The task's readings are purged with it — keeping them would
+        leave stale per-task entries behind and skew ``mean_value()``
+        / ``distinct_devices()`` with data the application explicitly
+        disowned.  Deliveries still in flight when the delete lands
+        are dropped on arrival (``late_deliveries_dropped``).
+        """
         self._require_own_task(task_id)
         self._senseaid.delete_task(task_id)
         self._task_ids.remove(task_id)
+        self._readings_by_task.pop(task_id, None)
+        self._readings = [p for p in self._readings if p.task_id != task_id]
 
     def receive_sensed_data(self, point: SensedDataPoint) -> None:
-        """Callback invoked by Sense-Aid when data arrives."""
+        """Callback invoked by Sense-Aid when data arrives.
+
+        Only data for tasks this application currently owns is
+        accepted; a late callback for a deleted task is counted and
+        dropped.  The application's own ``on_data`` hook runs after
+        the reading is safely recorded, and an exception it raises is
+        contained (counted in ``callback_errors``) rather than allowed
+        to corrupt the store or the server's delivery path.
+        """
+        if point.task_id not in self._task_ids:
+            self.late_deliveries_dropped += 1
+            return
         self._readings.append(point)
         self._readings_by_task[point.task_id].append(point)
         if self._on_data is not None:
-            self._on_data(point)
+            try:
+                self._on_data(point)
+            except Exception:  # noqa: BLE001 — app bugs stay the app's problem
+                self.callback_errors += 1
 
     # ------------------------------------------------------------------
     # Data access

@@ -1,0 +1,196 @@
+"""Request lifecycle state machine for the service front.
+
+Every request the service touches moves through an explicit state
+machine::
+
+    QUEUED ──► ADMITTED ──► RUNNING ──► DONE
+      │            │            └─────► FAILED
+      └──► SHED    └──────────────────► FAILED   (shutdown drain)
+
+- ``QUEUED``: the request arrived at the front door and is being
+  admission-checked;
+- ``ADMITTED``: the admission controller accepted it and it sits in
+  the bounded request queue;
+- ``RUNNING``: a consumer coroutine holds a concurrency slot and is
+  executing the handler;
+- ``DONE`` / ``SHED`` / ``FAILED``: terminal.  ``SHED`` only ever
+  happens at the front door (admission refusal or queue full) — once
+  admitted, a request is either served or failed, never silently
+  dropped.
+
+The :class:`LifecycleLedger` records every transition, rejects illegal
+ones loudly (a state-machine bug must never be absorbed into a
+latency histogram), and proves *totality*: every request that was ever
+created ends in exactly one terminal state, so no request can skip
+SHED/FAILED accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, FrozenSet, List, Mapping, Tuple
+
+
+class RequestState(Enum):
+    """Where one request is in its service lifecycle."""
+
+    QUEUED = "queued"
+    ADMITTED = "admitted"
+    RUNNING = "running"
+    DONE = "done"
+    SHED = "shed"
+    FAILED = "failed"
+
+
+#: Every legal transition; anything else raises IllegalTransitionError.
+LEGAL_TRANSITIONS: Mapping[RequestState, FrozenSet[RequestState]] = {
+    RequestState.QUEUED: frozenset(
+        {RequestState.ADMITTED, RequestState.SHED, RequestState.FAILED}
+    ),
+    RequestState.ADMITTED: frozenset({RequestState.RUNNING, RequestState.FAILED}),
+    RequestState.RUNNING: frozenset({RequestState.DONE, RequestState.FAILED}),
+    RequestState.DONE: frozenset(),
+    RequestState.SHED: frozenset(),
+    RequestState.FAILED: frozenset(),
+}
+
+TERMINAL_STATES: FrozenSet[RequestState] = frozenset(
+    {RequestState.DONE, RequestState.SHED, RequestState.FAILED}
+)
+
+
+class IllegalTransitionError(RuntimeError):
+    """A request tried to move along an edge the state machine forbids."""
+
+    def __init__(self, request_id: str, current: RequestState, target: RequestState):
+        super().__init__(
+            f"request {request_id}: illegal transition {current.value} -> {target.value}"
+        )
+        self.request_id = request_id
+        self.current = current
+        self.target = target
+
+
+@dataclass
+class RequestRecord:
+    """One request's transition history: (state, timestamp) pairs."""
+
+    request_id: str
+    history: List[Tuple[RequestState, float]] = field(default_factory=list)
+
+    @property
+    def state(self) -> RequestState:
+        return self.history[-1][0]
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+    def at(self, state: RequestState) -> float:
+        """Timestamp of the first entry into ``state`` (KeyError if never)."""
+        for seen, when in self.history:
+            if seen is state:
+                return when
+        raise KeyError(f"{self.request_id} never reached {state.value}")
+
+
+class LifecycleLedger:
+    """Tracks every request's state machine and the aggregate accounting.
+
+    The ledger is the service's source of truth for shed/failure
+    accounting: benchmarks and invariant checks read it rather than
+    counting ad-hoc.
+    """
+
+    def __init__(self, *, keep_records: bool = True) -> None:
+        #: Per-request transition history (optional — a long soak can
+        #: run with counters only).
+        self.keep_records = keep_records
+        self.records: Dict[str, RequestRecord] = {}
+        self.created = 0
+        self.transitions: Dict[str, int] = {}
+        self.terminal_counts: Dict[str, int] = {s.value: 0 for s in TERMINAL_STATES}
+        self._open_states: Dict[str, RequestState] = {}
+
+    # ------------------------------------------------------------------
+    # Transitions
+    # ------------------------------------------------------------------
+
+    def create(self, request_id: str, now: float) -> None:
+        """Register a new request in its initial QUEUED state."""
+        if request_id in self._open_states or (
+            self.keep_records and request_id in self.records
+        ):
+            raise ValueError(f"duplicate request id {request_id!r}")
+        self.created += 1
+        self._open_states[request_id] = RequestState.QUEUED
+        if self.keep_records:
+            self.records[request_id] = RequestRecord(
+                request_id, [(RequestState.QUEUED, now)]
+            )
+
+    def advance(self, request_id: str, target: RequestState, now: float) -> None:
+        """Move one request along a legal edge (raises otherwise)."""
+        current = self._open_states.get(request_id)
+        if current is None:
+            raise IllegalTransitionError(
+                request_id, RequestState.DONE, target
+            )  # already terminal (or never created)
+        if target not in LEGAL_TRANSITIONS[current]:
+            raise IllegalTransitionError(request_id, current, target)
+        edge = f"{current.value}->{target.value}"
+        self.transitions[edge] = self.transitions.get(edge, 0) + 1
+        if self.keep_records:
+            self.records[request_id].history.append((target, now))
+        if target in TERMINAL_STATES:
+            self.terminal_counts[target.value] += 1
+            del self._open_states[request_id]
+        else:
+            self._open_states[request_id] = target
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+
+    @property
+    def open_requests(self) -> int:
+        """Requests created but not yet terminal."""
+        return len(self._open_states)
+
+    @property
+    def done(self) -> int:
+        return self.terminal_counts[RequestState.DONE.value]
+
+    @property
+    def shed(self) -> int:
+        return self.terminal_counts[RequestState.SHED.value]
+
+    @property
+    def failed(self) -> int:
+        return self.terminal_counts[RequestState.FAILED.value]
+
+    def assert_accounted(self) -> None:
+        """Totality check: created == done + shed + failed + open.
+
+        Because ``advance`` only moves along legal edges and terminal
+        states remove the request from the open set, any imbalance
+        means a request skipped its terminal accounting.
+        """
+        accounted = self.done + self.shed + self.failed + self.open_requests
+        if accounted != self.created:
+            raise AssertionError(
+                f"lifecycle ledger unbalanced: created={self.created} "
+                f"done={self.done} shed={self.shed} failed={self.failed} "
+                f"open={self.open_requests}"
+            )
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "created": self.created,
+            "done": self.done,
+            "shed": self.shed,
+            "failed": self.failed,
+            "open": self.open_requests,
+            "transitions": dict(sorted(self.transitions.items())),
+        }

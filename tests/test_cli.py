@@ -133,3 +133,58 @@ class TestSoakCommand:
     def test_soak_rejects_unknown_tier(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["soak", "--tier", "apocalyptic"])
+
+
+class TestServiceCommands:
+    def test_loadgen_closed_loop_reports(self, capsys):
+        assert main(["loadgen", "--requests", "40", "--mode", "closed"]) == 0
+        import json
+
+        payload = json.loads(capsys.readouterr().out)
+        report = payload["report"]
+        assert report["mode"] == "closed"
+        assert report["n_requests"] == 40
+        assert report["ok"] + report["shed"] + report["failed"] == 40
+        assert payload["service"]["lifecycle"]["created"] >= 40
+        assert payload["service"]["lifecycle"]["open"] == 0
+
+    def test_loadgen_trace_is_seed_deterministic(self, capsys):
+        import json
+
+        sigs = []
+        for _ in range(2):
+            assert main(
+                ["loadgen", "--requests", "25", "--mode", "closed", "--seed", "3"]
+            ) == 0
+            sigs.append(json.loads(capsys.readouterr().out)["report"]["trace_sig"])
+        assert sigs[0] == sigs[1]
+
+    def test_serve_roundtrips_json_lines(self, capsys, monkeypatch):
+        import io
+        import json
+        import sys as _sys
+
+        lines = "\n".join(
+            [
+                json.dumps({"kind": "create_task", "payload": {"slot": 0}}),
+                json.dumps(
+                    {"kind": "deliver_data", "payload": {"slot": 0, "value": 1011.0}}
+                ),
+                json.dumps({"kind": "query_data", "payload": {"slot": 0}}),
+                "not json at all",
+            ]
+        )
+        monkeypatch.setattr(_sys, "stdin", io.StringIO(lines + "\n"))
+        assert main(["serve"]) == 0
+        captured = capsys.readouterr()
+        responses = [json.loads(line) for line in captured.out.splitlines() if line]
+        assert len(responses) == 4
+        rejected = [r for r in responses if r.get("status") == "rejected"]
+        assert len(rejected) == 1  # the malformed line
+        served = [r for r in responses if r.get("status") == "ok"]
+        assert len(served) == 3
+        query = next(r for r in served if r["kind"] == "query_data")
+        assert query["request_id"].startswith("r")
+        scorecard = json.loads(captured.err)
+        assert scorecard["lifecycle"]["created"] == 3
+        assert scorecard["lifecycle"]["done"] == 3

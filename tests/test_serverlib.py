@@ -126,3 +126,121 @@ class TestAggregates:
         submit_default_task(cas)
         sim.run(until=1900.0)
         assert 2 <= cas.distinct_devices() <= 4
+
+    def test_mean_value_on_empty_task(self):
+        """A live task with zero readings yet has no mean — not a crash."""
+        sim = Simulator()
+        server, _, _, _ = make_setup(sim, n_devices=1)
+        cas = make_cas(server)
+        task_id = submit_default_task(cas)
+        assert cas.mean_value(task_id) is None
+        assert cas.readings_for_task(task_id) == []
+
+    def test_mean_value_on_unknown_task_id(self):
+        sim = Simulator()
+        server, _, _, _ = make_setup(sim, n_devices=1)
+        cas = make_cas(server)
+        assert cas.mean_value(999_999) is None
+
+    def test_distinct_devices_counts_hashes_not_points(self):
+        """Two readings from the same hashed device count once; the raw
+        device id never appears (the paper's privacy filter)."""
+        sim = Simulator()
+        server, _, _, _ = make_setup(sim, n_devices=1)
+        cas = make_cas(server)
+        task_id = cas.task(
+            SensorType.BAROMETER,
+            CENTER,
+            1000.0,
+            1,
+            sampling_period_s=600.0,
+            sampling_duration_s=1800.0,
+        )
+        sim.run(until=1900.0)
+        assert len(cas.readings) >= 2  # several rounds, one device
+        assert cas.distinct_devices() == 1
+        hashes = {p.device_hash for p in cas.readings}
+        assert len(hashes) == 1
+        assert "d0" not in hashes  # hashed, never the raw IMEI/device id
+
+
+class TestDeleteTaskPurge:
+    def test_delete_purges_readings_of_that_task(self):
+        sim = Simulator()
+        server, _, _, _ = make_setup(sim, n_devices=3)
+        cas = make_cas(server)
+        keep = submit_default_task(cas, sampling_duration_s=600.0)
+        doomed = submit_default_task(cas, sampling_duration_s=600.0)
+        sim.run(until=650.0)
+        assert cas.readings_for_task(doomed)
+        before_keep = cas.readings_for_task(keep)
+        cas.delete_task(doomed)
+        assert cas.readings_for_task(doomed) == []
+        assert doomed not in cas._readings_by_task
+        assert cas.readings_for_task(keep) == before_keep
+        # The flat list and aggregates no longer see the disowned data.
+        assert {p.task_id for p in cas.readings} == {keep}
+        assert cas.mean_value() == pytest.approx(cas.mean_value(keep))
+
+    def test_late_delivery_for_deleted_task_is_dropped(self):
+        """A callback in flight when delete_task runs must not resurrect
+        the deleted task's data."""
+        sim = Simulator()
+        server, _, _, _ = make_setup(sim, n_devices=3)
+        cas = make_cas(server)
+        task_id = submit_default_task(cas, sampling_duration_s=600.0)
+        sim.run(until=650.0)
+        point = cas.readings_for_task(task_id)[0]
+        cas.delete_task(task_id)
+        cas.receive_sensed_data(point)  # late delivery, post-delete
+        assert cas.readings_for_task(task_id) == []
+        assert task_id not in {p.task_id for p in cas.readings}
+        assert cas.late_deliveries_dropped == 1
+
+    def test_delivery_for_foreign_task_is_dropped(self):
+        sim = Simulator()
+        server, _, _, _ = make_setup(sim, n_devices=3)
+        mine = make_cas(server, "mine")
+        theirs = make_cas(server, "theirs")
+        submit_default_task(mine, sampling_duration_s=600.0)
+        sim.run(until=650.0)
+        stray = mine.readings[0]
+        theirs.receive_sensed_data(stray)
+        assert theirs.readings == []
+        assert theirs.late_deliveries_dropped == 1
+
+
+class TestCallbackHardening:
+    def test_on_data_exception_does_not_corrupt_readings(self):
+        """An application's buggy on_data hook loses nothing: the
+        reading is recorded first and the exception is contained."""
+        sim = Simulator()
+        server, _, _, _ = make_setup(sim, n_devices=3)
+
+        def explode(_point):
+            raise RuntimeError("application bug")
+
+        cas = make_cas(server, on_data=explode)
+        task_id = submit_default_task(cas, sampling_duration_s=600.0)
+        sim.run(until=650.0)  # must not blow up the delivery path
+        assert len(cas.readings) == 2
+        assert cas.readings_for_task(task_id) == cas.readings
+        assert cas.callback_errors == 2
+        assert cas.mean_value(task_id) is not None
+
+    def test_on_data_failure_only_counts_failed_invocations(self):
+        sim = Simulator()
+        server, _, _, _ = make_setup(sim, n_devices=3)
+        seen = []
+
+        def flaky(point):
+            seen.append(point)
+            if len(seen) == 1:
+                raise ValueError("first delivery explodes")
+
+        cas = make_cas(server, on_data=flaky)
+        submit_default_task(cas, sampling_duration_s=600.0)
+        sim.run(until=650.0)
+        assert len(seen) == 2
+        assert cas.callback_errors == 1
+        assert len(cas.readings) == 2
