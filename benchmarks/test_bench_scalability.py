@@ -280,7 +280,12 @@ def test_scalability_2000_devices(benchmark):
 
 
 def run_vector_plane():
-    from repro.core.deviceplane import FleetSpec, PlaneDriver, default_campaign, make_plane
+    from repro.core.deviceplane import (
+        FleetSpec,
+        PlaneDriver,
+        default_campaign,
+        make_plane,
+    )
 
     spec = FleetSpec(devices=VECTOR_DEVICES, seed=VECTOR_SEED)
     sim = Simulator(seed=VECTOR_SEED)
@@ -364,7 +369,12 @@ def test_scalability_vector_plane_matches_object():
     fleet size and requires the exact same selection log, snapshot, and
     fsum energy total — the indexed==scanned discipline, fleet-sized.
     """
-    from repro.core.deviceplane import FleetSpec, default_campaign, make_plane, run_campaign
+    from repro.core.deviceplane import (
+        FleetSpec,
+        default_campaign,
+        make_plane,
+        run_campaign,
+    )
 
     spec = FleetSpec(devices=LARGE_DEVICES, seed=VECTOR_SEED)
     campaign = default_campaign(spec)

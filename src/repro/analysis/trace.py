@@ -59,7 +59,9 @@ class RadioTraceRecorder:
         result = list(self._segments)
         if closed_at is not None and result and result[-1].end is None:
             last = result[-1]
-            result[-1] = TraceSegment(last.state, last.start, max(last.start, closed_at))
+            result[-1] = TraceSegment(
+                last.state, last.start, max(last.start, closed_at)
+            )
         return result
 
     def time_in_state(self, state: RRCState, *, until: float) -> float:

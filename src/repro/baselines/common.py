@@ -113,7 +113,10 @@ class BaselineFramework:
                 continue
             if not device.sensors.has(task.sensor_type):
                 continue
-            if task.device_type is not None and device.profile.model != task.device_type:
+            if (
+                task.device_type is not None
+                and device.profile.model != task.device_type
+            ):
                 continue
             result.append(device)
         return result

@@ -181,7 +181,8 @@ class CompareReport:
                 delta = d.delta
                 lines.append(
                     f"| {d.artifact} | `{d.path}` | {_fmt(d.baseline)} | "
-                    f"{_fmt(d.current)} | {_fmt(delta) if delta is not None else '—'} | "
+                    f"{_fmt(d.current)} | "
+                    f"{_fmt(delta) if delta is not None else '—'} | "
                     f"{d.allowed or '—'} | {d.status} |"
                 )
             lines.append("")
@@ -218,7 +219,11 @@ def load_artifact(path: str) -> Artifact:
     with open(path, "r", encoding="utf-8") as f:
         payload = json.load(f)
     name = os.path.splitext(os.path.basename(path))[0]
-    if isinstance(payload, dict) and "schema_version" in payload and "metrics" in payload:
+    if (
+        isinstance(payload, dict)
+        and "schema_version" in payload
+        and "metrics" in payload
+    ):
         return Artifact(
             name=payload.get("name", name),
             schema_version=int(payload["schema_version"]),
@@ -299,7 +304,9 @@ def compare_artifact(
     for path in base_flat:
         if path in cur_flat:
             deltas.append(
-                _compare_leaf(baseline.name, path, base_flat[path], cur_flat[path], policy)
+                _compare_leaf(
+                    baseline.name, path, base_flat[path], cur_flat[path], policy
+                )
             )
         else:
             deltas.append(
@@ -338,7 +345,11 @@ def compare_dirs(
     if tolerances_path is None:
         candidate = os.path.join(baseline_dir, "tolerances.json")
         tolerances_path = candidate if os.path.isfile(candidate) else None
-    policy = TolerancePolicy.load(tolerances_path) if tolerances_path else TolerancePolicy()
+    policy = (
+        TolerancePolicy.load(tolerances_path)
+        if tolerances_path
+        else TolerancePolicy()
+    )
     for stem in sorted(baselines):
         if stem not in currents:
             message = f"baseline artifact {stem} was not produced by the current run"

@@ -74,7 +74,9 @@ class Message:
 
     def __post_init__(self) -> None:
         if self.size_bytes < 0:
-            raise ValueError(f"size_bytes must be non-negative, got {self.size_bytes!r}")
+            raise ValueError(
+                f"size_bytes must be non-negative, got {self.size_bytes!r}"
+            )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -107,7 +107,9 @@ def run_experiment(
     experiments; the single-run experiments ignore it.
     """
     resolved = _resolve(name)
-    extra = {"engine": engine} if engine is not None and resolved in _ENGINE_AWARE else {}
+    extra = (
+        {"engine": engine} if engine is not None and resolved in _ENGINE_AWARE else {}
+    )
     if resolved in _PLAIN_EXPERIMENTS:
         _, runner = _PLAIN_EXPERIMENTS[resolved]
         return runner()
@@ -365,6 +367,24 @@ def build_parser() -> argparse.ArgumentParser:
     )
     plane_check.set_defaults(func=_cmd_plane_check)
 
+    storage_parser = subparsers.add_parser(
+        "storage",
+        help="datastore tooling: conformance-check the selected backend",
+    )
+    storage_sub = storage_parser.add_subparsers(dest="storage_command", required=True)
+    storage_check = storage_sub.add_parser(
+        "check",
+        help="run the conformance kit against the backend REPRO_DATASTORE "
+        "selects (or --spec)",
+    )
+    storage_check.add_argument(
+        "--spec",
+        default=None,
+        help="backend spec to check (memory, sqlite, sqlite:<path>); "
+        "default: the REPRO_DATASTORE environment",
+    )
+    storage_check.set_defaults(func=_cmd_storage_check)
+
     serve_parser = subparsers.add_parser(
         "serve",
         help="run the service front over stdin/stdout: one JSON request "
@@ -564,6 +584,52 @@ def _cmd_soak(args: argparse.Namespace) -> int:
             f"in {shrunk.runs} run(s); reproducer at {path}"
         )
     return 1
+
+
+def _cmd_storage_check(args: argparse.Namespace) -> int:
+    """Conformance-check the backend the current spec resolves to.
+
+    The kit creates and destroys its own scratch instances, so a
+    ``sqlite:<path>`` spec is checked on fresh files *next to* the
+    named one — never on the live store itself.
+    """
+    import os
+    import tempfile
+
+    from repro.storage import (
+        ConformanceError,
+        check_backend_conformance,
+        default_spec,
+        resolve_backend,
+    )
+
+    spec = (args.spec or default_spec()).strip()
+    if spec.startswith("sqlite"):
+        from repro.storage import SqliteBackend
+
+        scratch = tempfile.mkdtemp(prefix="repro-storage-check-")
+        counter = iter(range(1_000_000))
+
+        def factory():
+            return SqliteBackend(
+                os.path.join(scratch, f"conformance-{next(counter)}.sqlite3")
+            )
+
+    else:
+
+        def factory():
+            return resolve_backend(spec)
+
+    try:
+        checks = check_backend_conformance(factory)
+    except ConformanceError as exc:
+        print(f"storage backend {spec!r} FAILED conformance: {exc}")
+        return 1
+    except ValueError as exc:
+        print(f"bad datastore spec: {exc}", file=sys.stderr)
+        return 2
+    print(f"storage backend {spec!r} passed {len(checks)} conformance checks")
+    return 0
 
 
 def _cmd_plane_bench(args: argparse.Namespace) -> int:

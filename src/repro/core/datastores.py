@@ -9,14 +9,29 @@ since the beginning of some reasonable time interval, say the week").
 
 The **task datastore** holds every task received from crowdsensing
 application servers.
+
+Both datastores sit on a pluggable :class:`~repro.storage.StorageBackend`
+(``REPRO_DATASTORE=memory|sqlite``): the live working set stays in
+process (selection is a hot path), every registration/removal writes
+through immediately, and :meth:`flush` re-serializes the working set to
+the backend at durability points (WAL checkpoints, shutdown).  A
+datastore handed a backend that already holds its namespace hydrates
+from it, so a fresh process can reattach to an on-disk store.  The
+record/task codecs here are the single serialization story — the WAL,
+checkpoints, and both backends all speak these dicts.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, TYPE_CHECKING
 
 from repro.core.tasks import TaskSpec
+from repro.devices.sensors import SensorType
+from repro.environment.geometry import Point
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.storage import StorageBackend
 
 
 @dataclass
@@ -72,11 +87,115 @@ class DeviceRecord:
         self.reliability = (1.0 - alpha) * self.reliability + alpha * target
 
 
-class DeviceDatastore:
-    """Registration, state updates, and lookups for devices."""
+# ----------------------------------------------------------------------
+# Codecs — the one serialization story (backends, WAL, checkpoints)
+# ----------------------------------------------------------------------
 
-    def __init__(self) -> None:
+
+def record_to_dict(record: DeviceRecord) -> dict:
+    return {
+        "device_id": record.device_id,
+        "imei_hash": record.imei_hash,
+        "device_model": record.device_model,
+        "energy_budget_j": record.energy_budget_j,
+        "critical_battery_pct": record.critical_battery_pct,
+        "battery_pct": record.battery_pct,
+        "energy_used_j": record.energy_used_j,
+        "times_selected": record.times_selected,
+        "last_comm_time": record.last_comm_time,
+        "registered_at": record.registered_at,
+        "responsive": record.responsive,
+        "invalid_data_count": record.invalid_data_count,
+        "sensors": sorted(s.name for s in record.sensors),
+        "reliability": record.reliability,
+        "missed_deliveries": record.missed_deliveries,
+    }
+
+
+def record_from_dict(data: dict) -> DeviceRecord:
+    return DeviceRecord(
+        device_id=data["device_id"],
+        imei_hash=data["imei_hash"],
+        device_model=data["device_model"],
+        energy_budget_j=data["energy_budget_j"],
+        critical_battery_pct=data["critical_battery_pct"],
+        battery_pct=data["battery_pct"],
+        energy_used_j=data["energy_used_j"],
+        times_selected=data["times_selected"],
+        last_comm_time=data["last_comm_time"],
+        registered_at=data["registered_at"],
+        responsive=data["responsive"],
+        invalid_data_count=data["invalid_data_count"],
+        sensors=frozenset(SensorType[name] for name in data["sensors"]),
+        reliability=data.get("reliability", 1.0),
+        missed_deliveries=data.get("missed_deliveries", 0),
+    )
+
+
+def task_to_dict(task: TaskSpec) -> dict:
+    return {
+        "task_id": task.task_id,
+        "sensor_type": task.sensor_type.name,
+        "center": [task.center.x, task.center.y],
+        "area_radius_m": task.area_radius_m,
+        "spatial_density": task.spatial_density,
+        "sampling_period_s": task.sampling_period_s,
+        "sampling_duration_s": task.sampling_duration_s,
+        "start_time": task.start_time,
+        "end_time": task.end_time,
+        "device_type": task.device_type,
+        "origin": task.origin,
+    }
+
+
+def task_from_dict(data: dict) -> TaskSpec:
+    return TaskSpec(
+        task_id=data["task_id"],
+        sensor_type=SensorType[data["sensor_type"]],
+        center=Point(data["center"][0], data["center"][1]),
+        area_radius_m=data["area_radius_m"],
+        spatial_density=data["spatial_density"],
+        sampling_period_s=data["sampling_period_s"],
+        sampling_duration_s=data["sampling_duration_s"],
+        start_time=data["start_time"],
+        end_time=data["end_time"],
+        device_type=data["device_type"],
+        origin=data["origin"],
+    )
+
+
+class DeviceDatastore:
+    """Registration, state updates, and lookups for devices.
+
+    ``backend=None`` keeps everything in the live dict (the seed's
+    behaviour).  With a backend, registrations and removals write
+    through immediately and :meth:`flush` persists the full working
+    set; ``fresh=True`` clears the namespace instead of hydrating from
+    it (a cold restart about to be rebuilt by WAL replay).
+    """
+
+    NAMESPACE = "devices"
+
+    def __init__(
+        self,
+        backend: Optional["StorageBackend"] = None,
+        *,
+        fresh: bool = False,
+    ) -> None:
         self._records: Dict[str, DeviceRecord] = {}
+        self._backend = backend
+        if backend is not None:
+            if fresh:
+                backend.clear_docs(self.NAMESPACE)
+            else:
+                for key in backend.doc_keys(self.NAMESPACE):
+                    doc = backend.get_doc(self.NAMESPACE, key)
+                    if doc is not None:
+                        self._records[key] = record_from_dict(doc)
+
+    @property
+    def backend(self) -> Optional["StorageBackend"]:
+        return self._backend
 
     def __len__(self) -> int:
         return len(self._records)
@@ -88,11 +207,29 @@ class DeviceDatastore:
         if record.device_id in self._records:
             raise ValueError(f"device {record.device_id!r} already registered")
         self._records[record.device_id] = record
+        if self._backend is not None:
+            self._backend.put_doc(
+                self.NAMESPACE, record.device_id, record_to_dict(record)
+            )
 
     def deregister(self, device_id: str) -> None:
         if device_id not in self._records:
             raise KeyError(f"device {device_id!r} is not registered")
         del self._records[device_id]
+        if self._backend is not None:
+            self._backend.delete_doc(self.NAMESPACE, device_id)
+
+    def flush(self) -> None:
+        """Re-serialize the full working set to the backend.
+
+        Called at durability points; covers mutations that went
+        through record attributes rather than datastore methods.
+        """
+        if self._backend is None:
+            return
+        for device_id, record in self._records.items():
+            self._backend.put_doc(self.NAMESPACE, device_id, record_to_dict(record))
+        self._backend.flush()
 
     def record(self, device_id: str) -> DeviceRecord:
         try:
@@ -119,7 +256,9 @@ class DeviceDatastore:
         record = self.record(device_id)
         if battery_pct is not None:
             if not 0.0 <= battery_pct <= 100.0:
-                raise ValueError(f"battery_pct must be in [0, 100], got {battery_pct!r}")
+                raise ValueError(
+                    f"battery_pct must be in [0, 100], got {battery_pct!r}"
+                )
             record.battery_pct = battery_pct
         if energy_used_j is not None:
             if energy_used_j < 0:
@@ -152,10 +291,36 @@ class DeviceDatastore:
 
 
 class TaskDatastore:
-    """All tasks submitted by crowdsensing application servers."""
+    """All tasks submitted by crowdsensing application servers.
 
-    def __init__(self) -> None:
+    Task specs are immutable, so write-through on add/replace/remove
+    keeps the backend exactly current — no flush pass needed (it
+    exists for symmetry and to push batched backend writes down).
+    """
+
+    NAMESPACE = "tasks"
+
+    def __init__(
+        self,
+        backend: Optional["StorageBackend"] = None,
+        *,
+        fresh: bool = False,
+    ) -> None:
         self._tasks: Dict[int, TaskSpec] = {}
+        self._backend = backend
+        if backend is not None:
+            if fresh:
+                backend.clear_docs(self.NAMESPACE)
+            else:
+                for key in backend.doc_keys(self.NAMESPACE):
+                    doc = backend.get_doc(self.NAMESPACE, key)
+                    if doc is not None:
+                        task = task_from_dict(doc)
+                        self._tasks[task.task_id] = task
+
+    @property
+    def backend(self) -> Optional["StorageBackend"]:
+        return self._backend
 
     def __len__(self) -> int:
         return len(self._tasks)
@@ -163,20 +328,40 @@ class TaskDatastore:
     def __contains__(self, task_id: int) -> bool:
         return task_id in self._tasks
 
+    @staticmethod
+    def _key(task_id: int) -> str:
+        # Zero-padded so backend key order matches numeric task order.
+        return f"{task_id:012d}"
+
+    def _store(self, task: TaskSpec) -> None:
+        if self._backend is not None:
+            self._backend.put_doc(
+                self.NAMESPACE, self._key(task.task_id), task_to_dict(task)
+            )
+
     def add(self, task: TaskSpec) -> None:
         if task.task_id in self._tasks:
             raise ValueError(f"task {task.task_id} already exists")
         self._tasks[task.task_id] = task
+        self._store(task)
 
     def replace(self, task: TaskSpec) -> None:
         if task.task_id not in self._tasks:
             raise KeyError(f"task {task.task_id} does not exist")
         self._tasks[task.task_id] = task
+        self._store(task)
 
     def remove(self, task_id: int) -> TaskSpec:
         if task_id not in self._tasks:
             raise KeyError(f"task {task_id} does not exist")
-        return self._tasks.pop(task_id)
+        task = self._tasks.pop(task_id)
+        if self._backend is not None:
+            self._backend.delete_doc(self.NAMESPACE, self._key(task_id))
+        return task
+
+    def flush(self) -> None:
+        if self._backend is not None:
+            self._backend.flush()
 
     def get(self, task_id: int) -> TaskSpec:
         try:

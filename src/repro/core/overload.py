@@ -149,7 +149,9 @@ class AdmissionController:
         now = self._sim.now
         elapsed = now - self._last_drain
         if elapsed > 0:
-            self._depth = max(0.0, self._depth - elapsed * self.policy.service_rate_per_s)
+            self._depth = max(
+                0.0, self._depth - elapsed * self.policy.service_rate_per_s
+            )
             self._last_drain = now
 
     def _threshold(self, request_class: RequestClass) -> float:

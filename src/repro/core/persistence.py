@@ -25,7 +25,13 @@ import os
 import tempfile
 from typing import Callable, Dict, Optional
 
-from repro.core.datastores import DeviceRecord
+from repro.core.datastores import (
+    DeviceRecord,
+    record_from_dict,
+    record_to_dict,
+    task_from_dict,
+    task_to_dict,
+)
 from repro.core.server import (
     SenseAidServer,
     SensedDataPoint,
@@ -44,80 +50,10 @@ SUPPORTED_VERSIONS = (1, 2)
 
 
 # ----------------------------------------------------------------------
-# Record / spec codecs
+# Record / spec codecs live in repro.core.datastores (re-exported above
+# for backward compatibility) — they are the one serialization story
+# shared by the WAL, checkpoints, and the storage backends.
 # ----------------------------------------------------------------------
-
-
-def record_to_dict(record: DeviceRecord) -> dict:
-    return {
-        "device_id": record.device_id,
-        "imei_hash": record.imei_hash,
-        "device_model": record.device_model,
-        "energy_budget_j": record.energy_budget_j,
-        "critical_battery_pct": record.critical_battery_pct,
-        "battery_pct": record.battery_pct,
-        "energy_used_j": record.energy_used_j,
-        "times_selected": record.times_selected,
-        "last_comm_time": record.last_comm_time,
-        "registered_at": record.registered_at,
-        "responsive": record.responsive,
-        "invalid_data_count": record.invalid_data_count,
-        "sensors": sorted(s.name for s in record.sensors),
-        "reliability": record.reliability,
-        "missed_deliveries": record.missed_deliveries,
-    }
-
-
-def record_from_dict(data: dict) -> DeviceRecord:
-    return DeviceRecord(
-        device_id=data["device_id"],
-        imei_hash=data["imei_hash"],
-        device_model=data["device_model"],
-        energy_budget_j=data["energy_budget_j"],
-        critical_battery_pct=data["critical_battery_pct"],
-        battery_pct=data["battery_pct"],
-        energy_used_j=data["energy_used_j"],
-        times_selected=data["times_selected"],
-        last_comm_time=data["last_comm_time"],
-        registered_at=data["registered_at"],
-        responsive=data["responsive"],
-        invalid_data_count=data["invalid_data_count"],
-        sensors=frozenset(SensorType[name] for name in data["sensors"]),
-        reliability=data.get("reliability", 1.0),
-        missed_deliveries=data.get("missed_deliveries", 0),
-    )
-
-
-def task_to_dict(task: TaskSpec) -> dict:
-    return {
-        "task_id": task.task_id,
-        "sensor_type": task.sensor_type.name,
-        "center": [task.center.x, task.center.y],
-        "area_radius_m": task.area_radius_m,
-        "spatial_density": task.spatial_density,
-        "sampling_period_s": task.sampling_period_s,
-        "sampling_duration_s": task.sampling_duration_s,
-        "start_time": task.start_time,
-        "end_time": task.end_time,
-        "device_type": task.device_type,
-        "origin": task.origin,
-    }
-
-
-def task_from_dict(data: dict) -> TaskSpec:
-    return TaskSpec(
-        task_id=data["task_id"],
-        sensor_type=SensorType[data["sensor_type"]],
-        center=Point(data["center"][0], data["center"][1]),
-        area_radius_m=data["area_radius_m"],
-        spatial_density=data["spatial_density"],
-        sampling_period_s=data["sampling_period_s"],
-        sampling_duration_s=data["sampling_duration_s"],
-        start_time=data["start_time"],
-        end_time=data["end_time"],
-        device_type=data["device_type"],
-        origin=data["origin"],
-    )
 
 
 def stats_to_dict(stats: ServerStats) -> dict:

@@ -45,6 +45,7 @@ from repro.devices.sensors import SensorType
 from repro.sim.engine import Simulator
 from repro.sim.processes import PeriodicProcess
 from repro.sim.simlog import SimLogger
+from repro.storage import StorageBackend, resolve_backend
 
 #: Plausibility window for barometric readings (hPa); arriving values
 #: outside it are counted as invalid data (one of the paper's two
@@ -83,6 +84,26 @@ class SelectionEvent:
     task_id: int
     qualified: Tuple[str, ...]
     selected: Tuple[str, ...]
+
+
+def selection_event_to_dict(event: SelectionEvent) -> dict:
+    return {
+        "time": event.time,
+        "request_id": event.request_id,
+        "task_id": event.task_id,
+        "qualified": list(event.qualified),
+        "selected": list(event.selected),
+    }
+
+
+def selection_event_from_dict(data: dict) -> SelectionEvent:
+    return SelectionEvent(
+        time=data["time"],
+        request_id=data["request_id"],
+        task_id=data["task_id"],
+        qualified=tuple(data["qualified"]),
+        selected=tuple(data["selected"]),
+    )
 
 
 @dataclass(frozen=True)
@@ -157,6 +178,9 @@ AssignmentHandler = Callable[[Assignment], None]
 class SenseAidServer:
     """The edge middleware orchestrating crowdsensing devices."""
 
+    #: Backend log namespace mirroring :attr:`selection_log`.
+    SELECTION_LOG_NS = "selection_log"
+
     def __init__(
         self,
         sim: Simulator,
@@ -167,6 +191,7 @@ class SenseAidServer:
         control_latency_s: float = 0.05,
         privacy_policy: Optional[PrivacyPolicy] = None,
         wal=None,
+        storage: Optional[StorageBackend] = None,
     ) -> None:
         self._sim = sim
         self._registry = registry
@@ -176,8 +201,13 @@ class SenseAidServer:
         self._registry.bind(sim)
         self._perf = sim.perf
         self.config = config if config is not None else SenseAidConfig()
-        self.devices = DeviceDatastore()
-        self.tasks = TaskDatastore()
+        #: Pluggable storage backend (``REPRO_DATASTORE``); every server
+        #: gets its own backend unless one is handed in explicitly.
+        self.storage: StorageBackend = (
+            storage if storage is not None else resolve_backend()
+        )
+        self.devices = DeviceDatastore(backend=self.storage)
+        self.tasks = TaskDatastore(backend=self.storage)
         self.run_queue = RequestQueue("run")
         self.wait_queue = RequestQueue("wait")
         self.selector = DeviceSelector(
@@ -249,10 +279,25 @@ class SenseAidServer:
         return self.mode is ServerMode.BASIC
 
     def shutdown(self) -> None:
-        """Stop background threads (wait-queue checker, epoch resets)."""
+        """Stop background threads (wait-queue checker, epoch resets).
+
+        Flushes — but does not close — the storage backend, so callers
+        (experiments, benchmarks) can still read results afterwards.
+        """
         self._wait_checker.stop()
         if self._epoch_resetter is not None:
             self._epoch_resetter.stop()
+        self.flush_storage()
+
+    def flush_storage(self) -> None:
+        """Push the full working set down to the storage backend.
+
+        Called at durability points (WAL checkpoints, shutdown); covers
+        record mutations that bypassed the datastore write-through.
+        """
+        self.devices.flush()
+        self.tasks.flush()
+        self.storage.flush()
 
     # ------------------------------------------------------------------
     # Failure handling (the paper's fail-safe: path 1 survives a
@@ -294,7 +339,9 @@ class SenseAidServer:
             self._sim, self.config.wait_check_period_s, self._check_wait_queue
         )
 
-    def restart(self, *, data_callbacks: Optional[Dict[str, DataCallback]] = None) -> None:
+    def restart(
+        self, *, data_callbacks: Optional[Dict[str, DataCallback]] = None
+    ) -> None:
         """Cold restart: the process is replaced, volatile state is gone.
 
         Unlike :meth:`recover` (a same-process resume where nothing was
@@ -323,8 +370,8 @@ class SenseAidServer:
         self._edge_view_key = None
         self._membership_version += 1
         if self._wal is not None:
-            self.devices = DeviceDatastore()
-            self.tasks = TaskDatastore()
+            self.devices = DeviceDatastore(backend=self.storage, fresh=True)
+            self.tasks = TaskDatastore(backend=self.storage, fresh=True)
             self.stats = ServerStats()
             self._seen_upload_ids = set()
             self._task_starts = {}
@@ -545,7 +592,9 @@ class SenseAidServer:
         start = max(updated.effective_start(now), now)
         self._task_starts[task_id] = start
         if self._wal is not None:
-            self._wal.record_task_updated(updated, start, self._task_end(updated, start))
+            self._wal.record_task_updated(
+                updated, start, self._task_end(updated, start)
+            )
         for request in updated.expand_requests(
             now, self.config.one_shot_deadline_s
         ):
@@ -680,14 +729,18 @@ class SenseAidServer:
             selected,
             len(qualified_ids),
         )
-        self.selection_log.append(
-            SelectionEvent(
-                time=now,
-                request_id=request.request_id,
-                task_id=request.task.task_id,
-                qualified=tuple(qualified_ids),
-                selected=tuple(selected),
-            )
+        event = SelectionEvent(
+            time=now,
+            request_id=request.request_id,
+            task_id=request.task.task_id,
+            qualified=tuple(qualified_ids),
+            selected=tuple(selected),
+        )
+        self.selection_log.append(event)
+        self.storage.append_log(
+            self.SELECTION_LOG_NS,
+            selection_event_to_dict(event),
+            tag=str(request.task.task_id),
         )
         tracking = _RequestTracking(request=request)
         self._tracking[request.request_id] = tracking

@@ -54,7 +54,9 @@ class TaskSpec:
 
     def __post_init__(self) -> None:
         if self.area_radius_m <= 0:
-            raise ValueError(f"area_radius_m must be positive, got {self.area_radius_m!r}")
+            raise ValueError(
+                f"area_radius_m must be positive, got {self.area_radius_m!r}"
+            )
         if self.spatial_density <= 0:
             raise ValueError(
                 f"spatial_density must be positive, got {self.spatial_density!r}"

@@ -332,6 +332,9 @@ class DurableLog:
         if self.fenced:
             self.writes_fenced += 1
             return
+        # A WAL checkpoint is a durability point for the storage
+        # backend too: push the live working set down before compacting.
+        server.flush_storage()
         self.wal.compact(checkpoint_server(server))
 
     def recover_into(

@@ -67,7 +67,9 @@ class SimDevice:
         self.imei = imei if imei is not None else f"imei-{device_id}"
         self.profile = profile
         self.preferences = preferences if preferences is not None else UserPreferences()
-        self.mobility = mobility if mobility is not None else StaticMobility(Point(0.0, 0.0))
+        self.mobility = (
+            mobility if mobility is not None else StaticMobility(Point(0.0, 0.0))
+        )
         self.battery = Battery(
             capacity_mah=profile.battery_mah,
             voltage_v=profile.battery_voltage_v,

@@ -64,7 +64,9 @@ def profile_by_model(model: str) -> DeviceProfile:
         ) from None
 
 
-def population_mix(count: int, *, barometer_fraction: float = 1.0) -> List[DeviceProfile]:
+def population_mix(
+    count: int, *, barometer_fraction: float = 1.0
+) -> List[DeviceProfile]:
     """A deterministic round-robin mix of ``count`` device profiles.
 
     ``barometer_fraction`` < 1.0 mixes in barometer-less models; the
@@ -75,7 +77,9 @@ def population_mix(count: int, *, barometer_fraction: float = 1.0) -> List[Devic
         raise ValueError(f"count must be non-negative, got {count!r}")
     if not 0.0 <= barometer_fraction <= 1.0:
         raise ValueError("barometer_fraction must be in [0, 1]")
-    with_baro = [p for p in DEVICE_PROFILES.values() if SensorType.BAROMETER in p.sensors]
+    with_baro = [
+        p for p in DEVICE_PROFILES.values() if SensorType.BAROMETER in p.sensors
+    ]
     without_baro = [
         p for p in DEVICE_PROFILES.values() if SensorType.BAROMETER not in p.sensors
     ]

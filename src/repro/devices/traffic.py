@@ -32,7 +32,8 @@ class TrafficPattern:
             raise ValueError(f"mean_gap_s must be positive, got {self.mean_gap_s!r}")
         if self.packets_per_session <= 0:
             raise ValueError(
-                f"packets_per_session must be positive, got {self.packets_per_session!r}"
+                "packets_per_session must be positive, "
+                f"got {self.packets_per_session!r}"
             )
         if self.intra_session_gap_s < 0:
             raise ValueError(

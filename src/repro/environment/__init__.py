@@ -11,7 +11,11 @@ out of a task's region over time (the device-8 episode of Fig. 9).
 
 from repro.environment.campus import Campus, Site, default_campus
 from repro.environment.geometry import Point, distance_m
-from repro.environment.mobility import MobilityModel, RandomWaypointMobility, StaticMobility
+from repro.environment.mobility import (
+    MobilityModel,
+    RandomWaypointMobility,
+    StaticMobility,
+)
 
 __all__ = [
     "Campus",

@@ -167,7 +167,10 @@ def main(
         format_table(
             ["tasks", "Periodic (J)", "PCS (J)", "SA-Basic (J)", "SA-Complete (J)"],
             result.fig13_rows(),
-            title="Figure 13 — mean energy per participating device vs concurrent tasks",
+            title=(
+                "Figure 13 — mean energy per participating device "
+                "vs concurrent tasks"
+            ),
         )
     )
     lines.append("")

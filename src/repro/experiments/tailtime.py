@@ -88,7 +88,11 @@ def main() -> str:
     lines = ["Figure 6 — LTE radio states around an in-tail crowdsensing upload", ""]
     for reset in (False, True):
         result = run(reset_tail=reset)
-        mode = "tail NOT reset (Sense-Aid Complete)" if not reset else "tail reset (stock RRC / Basic)"
+        mode = (
+            "tail NOT reset (Sense-Aid Complete)"
+            if not reset
+            else "tail reset (stock RRC / Basic)"
+        )
         lines.append(f"[{mode}]")
         lines.append(
             f"  regular burst at {REGULAR_TRAFFIC_AT:.1f}s, crowdsensing upload at "

@@ -54,7 +54,9 @@ class PointFailure(RuntimeError):
         lines = [f"{len(self.failed)} of {len(outcomes)} sweep points failed:"]
         for outcome in self.failed:
             first = (outcome.error or "").strip().splitlines()
-            lines.append(f"  point {outcome.index}: {first[-1] if first else 'unknown'}")
+            lines.append(
+                f"  point {outcome.index}: {first[-1] if first else 'unknown'}"
+            )
         super().__init__("\n".join(lines))
 
 
@@ -103,6 +105,7 @@ class ExperimentEngine:
         cache_dir: Optional[str] = None,
         cache: Optional[ResultCache] = None,
         max_crash_retries: int = 1,
+        spill_threshold: Optional[int] = None,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers!r}")
@@ -110,7 +113,10 @@ class ExperimentEngine:
             raise ValueError("max_crash_retries must be >= 0")
         self.workers = workers
         if cache is None and cache_dir is not None:
-            cache = ResultCache(cache_dir)
+            if spill_threshold is not None:
+                cache = ResultCache(cache_dir, spill_threshold=spill_threshold)
+            else:
+                cache = ResultCache(cache_dir)
         self.cache = cache
         self.max_crash_retries = max_crash_retries
         self.stats = EngineStats()
@@ -118,7 +124,9 @@ class ExperimentEngine:
     # -- keying ---------------------------------------------------------
 
     @staticmethod
-    def task_key(fn: Callable[..., Any], kwargs: Dict[str, Any], version: str = "") -> str:
+    def task_key(
+        fn: Callable[..., Any], kwargs: Dict[str, Any], version: str = ""
+    ) -> str:
         """Content hash identifying one point computation."""
         return config_hash(
             {

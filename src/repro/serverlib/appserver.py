@@ -4,17 +4,48 @@ An application (a hyperlocal weather map, a traffic monitor, …) uses
 this library to describe *what* data it needs; Sense-Aid handles all
 the bookkeeping the paper calls out — tracking devices, locations and
 schedules — which in Pressurenet amounted to 37% of the app's code.
+
+Stored readings live on the pluggable storage backend (by default the
+one the Sense-Aid server runs on) as an append-only log tagged by task
+id, so with ``REPRO_DATASTORE=sqlite`` an application's data store is
+on disk and a campaign's readings never have to fit in process memory.
+Aggregates (``mean_value``, ``distinct_devices``) stream over the log
+in arrival order, which keeps them bit-identical across backends.
 """
 
 from __future__ import annotations
 
-from collections import defaultdict
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Iterator, List, Optional
 
 from repro.core.server import SenseAidServer, SensedDataPoint
 from repro.core.tasks import TaskSpec
 from repro.devices.sensors import SensorType
 from repro.environment.geometry import Point
+from repro.storage import StorageBackend
+
+
+def point_to_dict(point: SensedDataPoint) -> dict:
+    return {
+        "request_id": point.request_id,
+        "task_id": point.task_id,
+        "sensor_type": point.sensor_type.name,
+        "value": point.value,
+        "sensed_at": point.sensed_at,
+        "delivered_at": point.delivered_at,
+        "device_hash": point.device_hash,
+    }
+
+
+def point_from_dict(data: dict) -> SensedDataPoint:
+    return SensedDataPoint(
+        request_id=data["request_id"],
+        task_id=data["task_id"],
+        sensor_type=SensorType[data["sensor_type"]],
+        value=data["value"],
+        sensed_at=data["sensed_at"],
+        delivered_at=data["delivered_at"],
+        device_hash=data["device_hash"],
+    )
 
 
 class CrowdsensingAppServer:
@@ -25,12 +56,16 @@ class CrowdsensingAppServer:
         senseaid: SenseAidServer,
         name: str,
         on_data: Optional[Callable[[SensedDataPoint], None]] = None,
+        *,
+        storage: Optional[StorageBackend] = None,
     ) -> None:
         self._senseaid = senseaid
         self.name = name
         self._on_data = on_data
-        self._readings: List[SensedDataPoint] = []
-        self._readings_by_task: Dict[int, List[SensedDataPoint]] = defaultdict(list)
+        self._storage = storage if storage is not None else senseaid.storage
+        #: Backend log namespace holding this application's readings,
+        #: one row per delivery, tagged with the task id.
+        self.readings_ns = f"readings:{name}"
         self._task_ids: List[int] = []
         #: Deliveries that arrived for a task this app no longer (or
         #: never) owned — e.g. in flight when ``delete_task`` ran.
@@ -95,8 +130,7 @@ class CrowdsensingAppServer:
         self._require_own_task(task_id)
         self._senseaid.delete_task(task_id)
         self._task_ids.remove(task_id)
-        self._readings_by_task.pop(task_id, None)
-        self._readings = [p for p in self._readings if p.task_id != task_id]
+        self._storage.prune_tagged(self.readings_ns, str(task_id))
 
     def receive_sensed_data(self, point: SensedDataPoint) -> None:
         """Callback invoked by Sense-Aid when data arrives.
@@ -111,8 +145,9 @@ class CrowdsensingAppServer:
         if point.task_id not in self._task_ids:
             self.late_deliveries_dropped += 1
             return
-        self._readings.append(point)
-        self._readings_by_task[point.task_id].append(point)
+        self._storage.append_log(
+            self.readings_ns, point_to_dict(point), tag=str(point.task_id)
+        )
         if self._on_data is not None:
             try:
                 self._on_data(point)
@@ -128,26 +163,47 @@ class CrowdsensingAppServer:
         return list(self._task_ids)
 
     @property
+    def storage(self) -> StorageBackend:
+        return self._storage
+
+    def iter_readings(
+        self, task_id: Optional[int] = None
+    ) -> Iterator[SensedDataPoint]:
+        """Stream readings in arrival order without materialising them."""
+        tag = None if task_id is None else str(task_id)
+        for doc in self._storage.scan_log(self.readings_ns, tag=tag):
+            yield point_from_dict(doc)
+
+    @property
     def readings(self) -> List[SensedDataPoint]:
-        return list(self._readings)
+        return list(self.iter_readings())
 
     def readings_for_task(self, task_id: int) -> List[SensedDataPoint]:
-        return list(self._readings_by_task.get(task_id, []))
+        return list(self.iter_readings(task_id))
+
+    def reading_count(self, task_id: Optional[int] = None) -> int:
+        tag = None if task_id is None else str(task_id)
+        return self._storage.log_count(self.readings_ns, tag=tag)
 
     def distinct_devices(self) -> int:
         """How many distinct (hashed) devices contributed data."""
-        return len({p.device_hash for p in self._readings})
+        return len({p.device_hash for p in self.iter_readings()})
 
     def mean_value(self, task_id: Optional[int] = None) -> Optional[float]:
-        """Mean sensed value, overall or for one task."""
-        points = (
-            self._readings
-            if task_id is None
-            else self._readings_by_task.get(task_id, [])
-        )
-        if not points:
+        """Mean sensed value, overall or for one task.
+
+        Streamed left-to-right over the log in arrival order — the
+        same additions in the same order on every backend, so the
+        result is bit-identical whether the store is dicts or a file.
+        """
+        total = 0.0
+        count = 0
+        for point in self.iter_readings(task_id):
+            total += point.value
+            count += 1
+        if count == 0:
             return None
-        return sum(p.value for p in points) / len(points)
+        return total / count
 
     def _require_own_task(self, task_id: int) -> None:
         if task_id not in self._task_ids:

@@ -35,16 +35,25 @@ DEFAULT_CENTER = Point(1275.0, 1350.0)
 
 
 def build_world(
-    *, seed: int = 7, app_name: str = "service"
+    *, seed: int = 7, app_name: str = "service", storage=None
 ) -> Tuple[Simulator, SenseAidServer, CrowdsensingAppServer]:
-    """A minimal Sense-Aid world for the service front to execute against."""
+    """A minimal Sense-Aid world for the service front to execute against.
+
+    ``storage`` is an optional pre-built
+    :class:`~repro.storage.StorageBackend`; when omitted the server
+    resolves one from ``REPRO_DATASTORE`` as usual.
+    """
     sim = Simulator(seed=seed)
     registry = TowerRegistry(
         [ENodeB("t0", DEFAULT_CENTER, coverage_radius_m=5000.0)]
     )
     network = CellularNetwork(sim)
     server = SenseAidServer(
-        sim, registry, network, SenseAidConfig(mode=ServerMode.COMPLETE)
+        sim,
+        registry,
+        network,
+        SenseAidConfig(mode=ServerMode.COMPLETE),
+        storage=storage,
     )
     cas = CrowdsensingAppServer(server, app_name)
     return sim, server, cas
@@ -167,11 +176,11 @@ class AppServerBackend:
             task_id = self._slot_tasks[int(slot) % self.slots]
             return {
                 "task_id": task_id,
-                "readings": len(self._cas.readings_for_task(task_id)),
+                "readings": self._cas.reading_count(task_id),
                 "mean": self._cas.mean_value(task_id),
             }
         return {
-            "readings": len(self._cas.readings),
+            "readings": self._cas.reading_count(),
             "mean": self._cas.mean_value(),
             "distinct_devices": self._cas.distinct_devices(),
         }

@@ -65,7 +65,8 @@ class IllegalTransitionError(RuntimeError):
 
     def __init__(self, request_id: str, current: RequestState, target: RequestState):
         super().__init__(
-            f"request {request_id}: illegal transition {current.value} -> {target.value}"
+            f"request {request_id}: illegal transition "
+            f"{current.value} -> {target.value}"
         )
         self.request_id = request_id
         self.current = current

@@ -102,7 +102,9 @@ class Simulator:
         event.cancel()
         self._queue.note_cancelled()
 
-    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> int:
+    def run(
+        self, until: Optional[float] = None, max_events: Optional[int] = None
+    ) -> int:
         """Process events until the heap empties, ``until`` is reached,
         or ``max_events`` have fired.  Returns the number of events
         processed by this call.

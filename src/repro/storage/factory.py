@@ -1,0 +1,82 @@
+"""Backend selection: config/env-driven, ``REPRO_DATASTORE``.
+
+``resolve_backend()`` is how every server, app server, and world
+builder obtains its storage.  The spec grammar:
+
+* ``memory`` (default) — :class:`~repro.storage.memory.MemoryBackend`.
+* ``sqlite`` — :class:`~repro.storage.sqlite3_backend.SqliteBackend`
+  on a fresh unique file under ``REPRO_DATASTORE_DIR`` (or a temp
+  directory when unset); every call returns an independent store, so
+  each server in a sharded/federated world gets its own file.
+* ``sqlite:/path/to.db`` — sqlite on exactly that file (shared state,
+  e.g. reattaching to a previous run's store).
+
+Setting ``REPRO_DATASTORE=sqlite`` therefore flips the whole system —
+tier-1 suite included — onto the on-disk backend, which is what the
+``storage-matrix`` CI job runs.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from typing import Optional
+
+from repro.storage.base import StorageBackend
+from repro.storage.memory import MemoryBackend
+from repro.storage.sqlite3_backend import SqliteBackend
+
+#: Environment variable naming the backend spec.
+DATASTORE_ENV = "REPRO_DATASTORE"
+#: Environment variable pinning where anonymous sqlite files go (the
+#: CI matrix points this at an uploadable artifact directory).
+DATASTORE_DIR_ENV = "REPRO_DATASTORE_DIR"
+
+BACKEND_NAMES = ("memory", "sqlite")
+
+
+def default_spec() -> str:
+    """The backend spec currently in force (env or the memory default)."""
+    spec = os.environ.get(DATASTORE_ENV, "").strip()
+    return spec or "memory"
+
+
+def resolve_backend(spec: Optional[str] = None) -> StorageBackend:
+    """Build a fresh backend from a spec (default: the environment's).
+
+    Raises :class:`ValueError` on an unknown spec so a typo in
+    ``REPRO_DATASTORE`` fails loudly instead of silently running on
+    the wrong backend.
+    """
+    spec = (spec or default_spec()).strip()
+    if spec == "memory":
+        return MemoryBackend()
+    if spec == "sqlite":
+        return SqliteBackend(_fresh_sqlite_path())
+    if spec.startswith("sqlite:"):
+        path = spec.split(":", 1)[1]
+        if not path:
+            raise ValueError("sqlite spec needs a path after the colon")
+        return SqliteBackend(path)
+    raise ValueError(
+        f"unknown datastore spec {spec!r}; expected one of "
+        f"{', '.join(BACKEND_NAMES)} or sqlite:<path>"
+    )
+
+
+def _fresh_sqlite_path() -> str:
+    root = os.environ.get(DATASTORE_DIR_ENV, "").strip()
+    if root:
+        os.makedirs(root, exist_ok=True)
+        fd, path = tempfile.mkstemp(
+            dir=root, prefix="datastore-", suffix=".sqlite3"
+        )
+    else:
+        directory = tempfile.mkdtemp(prefix="repro-datastore-")
+        fd, path = tempfile.mkstemp(
+            dir=directory, prefix="datastore-", suffix=".sqlite3"
+        )
+    os.close(fd)
+    # sqlite wants to create its own file layout; an empty placeholder
+    # from mkstemp is fine (sqlite treats a zero-length file as new).
+    return path

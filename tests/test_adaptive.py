@@ -92,7 +92,9 @@ class TestAdaptiveDensity:
     def test_parameter_validation(self):
         sim, server, app, controller = make_controller()
         with pytest.raises(ValueError):
-            AdaptiveDensityController(app, controller.task_id, min_density=5, max_density=2)
+            AdaptiveDensityController(
+                app, controller.task_id, min_density=5, max_density=2
+            )
         with pytest.raises(ValueError):
             AdaptiveDensityController(
                 app,

@@ -84,7 +84,9 @@ class TestPeriodic:
 
         devices = [
             make_device(sim, "ok", position=CENTER),
-            make_device(sim, "nobaro", position=CENTER, profile=profile_by_model("Moto E")),
+            make_device(
+                sim, "nobaro", position=CENTER, profile=profile_by_model("Moto E")
+            ),
         ]
         framework = PeriodicFramework(sim, network, devices)
         framework.add_task(make_spec(sampling_duration_s=600.0))

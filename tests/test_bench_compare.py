@@ -18,7 +18,9 @@ from repro.bench.compare import (
 )
 from repro.cli import main as cli_main
 
-FIXTURES = os.path.join(os.path.dirname(os.path.abspath(__file__)), "fixtures", "bench_compare")
+FIXTURES = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "fixtures", "bench_compare"
+)
 
 
 def _write(directory, name, metrics, *, schema=ARTIFACT_SCHEMA_VERSION, sha="abc123"):
@@ -26,7 +28,12 @@ def _write(directory, name, metrics, *, schema=ARTIFACT_SCHEMA_VERSION, sha="abc
     path = os.path.join(directory, f"{name}.json")
     with open(path, "w", encoding="utf-8") as f:
         json.dump(
-            {"name": name, "schema_version": schema, "git_sha": sha, "metrics": metrics},
+            {
+                "name": name,
+                "schema_version": schema,
+                "git_sha": sha,
+                "metrics": metrics,
+            },
             f,
         )
     return path

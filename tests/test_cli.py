@@ -188,3 +188,22 @@ class TestServiceCommands:
         scorecard = json.loads(captured.err)
         assert scorecard["lifecycle"]["created"] == 3
         assert scorecard["lifecycle"]["done"] == 3
+
+
+class TestStorageCheckCommand:
+    def test_memory_backend_passes(self, capsys):
+        assert main(["storage", "check", "--spec", "memory"]) == 0
+        assert "passed" in capsys.readouterr().out
+
+    def test_sqlite_backend_passes(self, capsys):
+        assert main(["storage", "check", "--spec", "sqlite"]) == 0
+        assert "passed" in capsys.readouterr().out
+
+    def test_env_spec_is_the_default(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_DATASTORE", "sqlite")
+        assert main(["storage", "check"]) == 0
+        assert "'sqlite'" in capsys.readouterr().out
+
+    def test_bad_spec_exits_2(self, capsys):
+        assert main(["storage", "check", "--spec", "bogus"]) == 2
+        assert "bad datastore spec" in capsys.readouterr().err

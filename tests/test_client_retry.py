@@ -270,7 +270,9 @@ class TestAcksAndRetries:
         server, _, _, _, clients = retry_setup(
             sim,
             n_devices=1,
-            loss_model=GilbertElliott(p_good_to_bad=1.0, p_bad_to_good=0.0, loss_bad=1.0),
+            loss_model=GilbertElliott(
+                p_good_to_bad=1.0, p_bad_to_good=0.0, loss_bad=1.0
+            ),
             config=SenseAidConfig(
                 mode=ServerMode.COMPLETE,
                 deadline_grace_s=60.0,
@@ -329,7 +331,9 @@ class TestAcksAndRetries:
                 tail_wait_max_s=30.0,
             ),
             plan=FaultPlan()
-            .set_loss_model(0.0, GilbertElliott(p_good_to_bad=1.0, p_bad_to_good=0.0, loss_bad=1.0))
+            .set_loss_model(
+                0.0, GilbertElliott(p_good_to_bad=1.0, p_bad_to_good=0.0, loss_bad=1.0)
+            )
             .clear_loss_model(500.0),
             config=SenseAidConfig(
                 mode=ServerMode.COMPLETE,
@@ -395,7 +399,9 @@ class TestAcksAndRetries:
             sim,
             n_devices=1,
             plan=FaultPlan()
-            .set_loss_model(0.0, GilbertElliott(p_good_to_bad=1.0, p_bad_to_good=0.0, loss_bad=1.0))
+            .set_loss_model(
+                0.0, GilbertElliott(p_good_to_bad=1.0, p_bad_to_good=0.0, loss_bad=1.0)
+            )
             .clear_loss_model(400.0),
             retry=RetryPolicy(
                 max_attempts=6,
@@ -490,7 +496,9 @@ class TestDegradedMode:
         # heal at 1000.
         plan = (
             FaultPlan()
-            .set_loss_model(0.0, GilbertElliott(p_good_to_bad=1.0, p_bad_to_good=0.0, loss_bad=1.0))
+            .set_loss_model(
+                0.0, GilbertElliott(p_good_to_bad=1.0, p_bad_to_good=0.0, loss_bad=1.0)
+            )
             .partition(150.0)
             .clear_loss_model(900.0)
             .heal(1000.0)

@@ -80,7 +80,9 @@ class TestDeviceDatastore:
     def test_update_state(self):
         store = DeviceDatastore()
         store.register(make_record("d1"))
-        store.update_state("d1", battery_pct=42.0, energy_used_j=7.0, last_comm_time=99.0)
+        store.update_state(
+            "d1", battery_pct=42.0, energy_used_j=7.0, last_comm_time=99.0
+        )
         record = store.record("d1")
         assert record.battery_pct == 42.0
         assert record.energy_used_j == 7.0

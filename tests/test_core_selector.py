@@ -18,7 +18,9 @@ def selector(**kwargs) -> DeviceSelector:
 
 class TestScore:
     def test_score_is_linear_combination(self):
-        weights = SelectorWeights(alpha=1.0, beta=2.0, gamma=3.0, phi=4.0, ttl_cap_s=100.0)
+        weights = SelectorWeights(
+            alpha=1.0, beta=2.0, gamma=3.0, phi=4.0, ttl_cap_s=100.0
+        )
         record = make_record(
             energy_used_j=10.0,
             times_selected=2,

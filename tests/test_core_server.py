@@ -177,7 +177,9 @@ class TestSchedulingWorkflow:
         server, network, _, _ = make_setup(sim, n_devices=2)
         from repro.devices.profiles import profile_by_model
 
-        no_baro = make_device(sim, "nobaro", position=CENTER, profile=profile_by_model("Moto E"))
+        no_baro = make_device(
+            sim, "nobaro", position=CENTER, profile=profile_by_model("Moto E")
+        )
         SenseAidClient(sim, no_baro, server, network).register()
         request = make_spec().expand_requests(0.0)[0]
         assert "nobaro" not in server.qualified_devices(request)

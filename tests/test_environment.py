@@ -125,7 +125,10 @@ class TestRandomWaypointMobility:
         mobility = self._make(mean_pause_s=60.0)
         home = default_campus().site(CS_DEPARTMENT).position
         positions = {
-            (round(mobility.position_at(float(t)).x), round(mobility.position_at(float(t)).y))
+            (
+                round(mobility.position_at(float(t)).x),
+                round(mobility.position_at(float(t)).y),
+            )
             for t in range(0, 2 * 3600, 60)
         }
         assert len(positions) > 3  # actually wandered

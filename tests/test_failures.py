@@ -6,7 +6,12 @@ from __future__ import annotations
 import pytest
 
 from repro.cellular.network import CellularNetwork
-from repro.cellular.packets import TrafficCategory, sensor_data_message, Message, MessageKind
+from repro.cellular.packets import (
+    Message,
+    MessageKind,
+    TrafficCategory,
+    sensor_data_message,
+)
 from repro.core.config import SenseAidConfig, ServerMode
 from repro.sim.engine import Simulator
 from tests.test_core_server import CENTER, make_setup, make_spec

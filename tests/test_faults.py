@@ -9,7 +9,12 @@ from repro.cellular.enodeb import ENodeB, TowerRegistry
 from repro.cellular.network import CellularNetwork
 from repro.cellular.packets import Message, MessageKind
 from repro.clientlib.client import SenseAidClient
-from repro.core.config import DegradedModePolicy, RetryPolicy, SenseAidConfig, ServerMode
+from repro.core.config import (
+    DegradedModePolicy,
+    RetryPolicy,
+    SenseAidConfig,
+    ServerMode,
+)
 from repro.core.server import SenseAidServer
 from repro.environment.geometry import Point
 from repro.faults import FaultInjector, FaultPlan, GilbertElliott

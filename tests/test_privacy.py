@@ -111,8 +111,12 @@ class TestKAnonymity:
     def test_requests_independent(self):
         filt = PrivacyFilter(PrivacyPolicy(k_anonymity=2))
         delivered = []
-        filt.offer(make_point(request_id="r1", device_hash="a"), "app", delivered.append)
-        filt.offer(make_point(request_id="r2", device_hash="b"), "app", delivered.append)
+        filt.offer(
+            make_point(request_id="r1", device_hash="a"), "app", delivered.append
+        )
+        filt.offer(
+            make_point(request_id="r2", device_hash="b"), "app", delivered.append
+        )
         assert delivered == []
 
     def test_invalid_k(self):
@@ -141,7 +145,9 @@ class TestServerIntegration:
             privacy_policy=PrivacyPolicy(k_anonymity=k),
         )
         for i in range(3):
-            SenseAidClient(sim, make_device(sim, f"d{i}", position=CENTER), server, network).register()
+            SenseAidClient(
+                sim, make_device(sim, f"d{i}", position=CENTER), server, network
+            ).register()
         data = []
         server.submit_task(
             make_spec(spatial_density=2, sampling_duration_s=600.0), data.append

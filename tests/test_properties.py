@@ -48,7 +48,9 @@ def test_event_queue_cancellation_preserves_rest(times, data):
     queue = EventQueue()
     events = [queue.push(t, lambda: None) for t in times]
     to_cancel = data.draw(
-        st.sets(st.integers(min_value=0, max_value=len(events) - 1), max_size=len(events))
+        st.sets(
+            st.integers(min_value=0, max_value=len(events) - 1), max_size=len(events)
+        )
     )
     for index in to_cancel:
         events[index].cancel()
@@ -204,7 +206,10 @@ def test_jain_index_bounds(counts):
     assert 0.0 < value <= 1.0 + 1e-9
 
 
-@given(st.floats(min_value=0.001, max_value=1e6), st.integers(min_value=1, max_value=100))
+@given(
+    st.floats(min_value=0.001, max_value=1e6),
+    st.integers(min_value=1, max_value=100),
+)
 def test_jain_equal_allocation_is_one(amount, n):
     assert jain_index([amount] * n) > 0.9999
 
@@ -262,7 +267,10 @@ def test_request_expansion_invariants(period, duration, now):
 
 
 @settings(max_examples=20, deadline=None)
-@given(st.integers(min_value=0, max_value=10_000), st.integers(min_value=0, max_value=2**32 - 1))
+@given(
+    st.integers(min_value=0, max_value=10_000),
+    st.integers(min_value=0, max_value=2**32 - 1),
+)
 def test_mobility_stays_on_campus_and_is_continuous(query_time, seed):
     campus = default_campus()
     mobility = RandomWaypointMobility(

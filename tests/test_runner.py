@@ -58,7 +58,9 @@ class TestCanonicalization:
         assert config_hash(ScenarioConfig()) != config_hash(SelectorWeights())
 
     def test_field_change_changes_hash(self):
-        assert config_hash(ScenarioConfig(seed=1)) != config_hash(ScenarioConfig(seed=2))
+        assert config_hash(ScenarioConfig(seed=1)) != config_hash(
+            ScenarioConfig(seed=2)
+        )
 
     def test_tuple_and_list_canonicalize_alike(self):
         assert canonical_json([1, 2, 3]) == canonical_json((1, 2, 3))
@@ -141,6 +143,76 @@ class TestResultCache:
         assert len(cache) == 2
         assert cache.clear() == 2
         assert len(cache) == 0
+
+
+class TestResultCacheSpill:
+    def test_large_payload_spills_to_object_store(self, tmp_path):
+        cache = ResultCache(str(tmp_path), spill_threshold=1024)
+        big = {"blob": list(range(5000))}
+        cache.put("big", big)
+        assert cache.spills == 1
+        assert os.path.isdir(cache.objects_dir)
+        assert len(os.listdir(cache.objects_dir)) == 1
+        # The entry file itself stays tiny — only the digest ref.
+        assert os.path.getsize(cache.path_for("big")) < 1024
+        hit, value = cache.get("big")
+        assert hit and value == big
+
+    def test_small_payload_stays_inline(self, tmp_path):
+        cache = ResultCache(str(tmp_path), spill_threshold=1024)
+        cache.put("small", {"x": 1})
+        assert cache.spills == 0
+        assert not os.path.isdir(cache.objects_dir)
+
+    def test_identical_artifacts_are_shared(self, tmp_path):
+        cache = ResultCache(str(tmp_path), spill_threshold=64)
+        payload = list(range(1000))
+        cache.put("a", payload)
+        cache.put("b", payload)
+        assert len(os.listdir(cache.objects_dir)) == 1  # content-addressed
+        assert cache.get("a") == (True, payload)
+        assert cache.get("b") == (True, payload)
+
+    def test_truncated_artifact_is_a_miss_not_a_hit(self, tmp_path):
+        """A crash mid-artifact-write (or later corruption) must never
+        come back as a cache hit — the digest check catches it."""
+        cache = ResultCache(str(tmp_path), spill_threshold=64)
+        cache.put("victim", list(range(1000)))
+        (name,) = os.listdir(cache.objects_dir)
+        path = os.path.join(cache.objects_dir, name)
+        with open(path, "rb") as f:
+            blob = f.read()
+        with open(path, "wb") as f:
+            f.write(blob[: len(blob) // 2])  # torn write
+        hit, value = cache.get("victim")
+        assert not hit and value is None
+        # Both the bad artifact and the now-dangling entry are dropped.
+        assert not os.path.exists(path)
+        assert not os.path.exists(cache.path_for("victim"))
+
+    def test_missing_artifact_is_a_miss(self, tmp_path):
+        cache = ResultCache(str(tmp_path), spill_threshold=64)
+        cache.put("victim", list(range(1000)))
+        (name,) = os.listdir(cache.objects_dir)
+        os.unlink(os.path.join(cache.objects_dir, name))
+        hit, _ = cache.get("victim")
+        assert not hit
+
+    def test_clear_removes_spilled_objects(self, tmp_path):
+        cache = ResultCache(str(tmp_path), spill_threshold=64)
+        cache.put("a", list(range(1000)))
+        assert cache.clear() == 1
+        assert os.listdir(cache.objects_dir) == []
+
+    def test_invalid_threshold_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            ResultCache(str(tmp_path), spill_threshold=0)
+
+    def test_engine_spill_threshold_passthrough(self, tmp_path):
+        engine = ExperimentEngine(
+            cache_dir=str(tmp_path), spill_threshold=128
+        )
+        assert engine.cache.spill_threshold == 128
 
 
 class TestEngineSerial:

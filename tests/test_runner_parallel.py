@@ -81,7 +81,9 @@ def _metrics_for_seed(seed: int) -> dict:
 class TestParallelSerialProperty:
     @settings(max_examples=8, deadline=None)
     @given(
-        seeds=st.lists(st.integers(min_value=0, max_value=2**32), min_size=1, max_size=8)
+        seeds=st.lists(
+            st.integers(min_value=0, max_value=2**32), min_size=1, max_size=8
+        )
     )
     def test_engine_order_and_values_match_for_any_task_list(self, seeds):
         tasks = [{"seed": seed} for seed in seeds]

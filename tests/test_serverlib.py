@@ -176,7 +176,7 @@ class TestDeleteTaskPurge:
         before_keep = cas.readings_for_task(keep)
         cas.delete_task(doomed)
         assert cas.readings_for_task(doomed) == []
-        assert doomed not in cas._readings_by_task
+        assert cas.reading_count(doomed) == 0
         assert cas.readings_for_task(keep) == before_keep
         # The flat list and aggregates no longer see the disowned data.
         assert {p.task_id for p in cas.readings} == {keep}

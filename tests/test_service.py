@@ -303,7 +303,9 @@ class TestServiceLoop:
             service = SenseAidService(echo_handler, config)
             await service.start()
             pending = [
-                asyncio.ensure_future(service.submit(RequestKind.QUERY_DATA, {"index": i}))
+                asyncio.ensure_future(
+                    service.submit(RequestKind.QUERY_DATA, {"index": i})
+                )
                 for i in range(10)
             ]
             await asyncio.sleep(0)  # let every submit pass the front door

@@ -104,7 +104,10 @@ def test_grid_equals_scan_on_random_fleets(seed, n_devices, cell_size, radius):
     registry = _registry(cell_size)
     for i in range(n_devices):
         registry.attach_device(
-            _Dot(f"d{i}", Point(rng.uniform(-500.0, 3500.0), rng.uniform(-500.0, 3500.0)))
+            _Dot(
+                f"d{i}",
+                Point(rng.uniform(-500.0, 3500.0), rng.uniform(-500.0, 3500.0)),
+            )
         )
     center = Point(rng.uniform(0.0, 3000.0), rng.uniform(0.0, 3000.0))
     indexed = registry.devices_within(center, radius)
